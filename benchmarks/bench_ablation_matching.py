@@ -1,0 +1,24 @@
+"""Ablation: matching algorithm choice (greedy vs maximum matching)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import ablation_matching
+
+
+def test_bench_ablation_matching(benchmark):
+    result = benchmark.pedantic(
+        ablation_matching.run,
+        kwargs={"trials": 1500},
+        rounds=1,
+        iterations=1,
+    )
+    report("Ablation: matching algorithms", result.format_report())
+
+    # Both maximum-matching algorithms agree exactly, always.
+    assert result.kuhn_hk_mismatches == 0
+    assert result.repaired["kuhn"] == result.repaired["hopcroft-karp"]
+    # Greedy under-repairs: it scraps chips the maximum matching saves.
+    assert result.repaired["greedy"] < result.repaired["hopcroft-karp"]
+    assert result.disagreements > 0

@@ -1,0 +1,29 @@
+"""Figure 10: effective yield EY = Y/(1+RR), all four designs at n = 100."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, runs):
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"runs": runs}, rounds=1, iterations=1
+    )
+    report("Figure 10: effective yield (n=100)", result.format_chart())
+    report("Figure 10 crossovers", str(result.crossovers()))
+
+    # The paper's qualitative claim: high redundancy suits small p, low
+    # redundancy suits high p.
+    assert result.best_design_at(0.90) in ("DTMB(3,6)", "DTMB(4,4)")
+    assert result.best_design_at(0.99) in ("DTMB(1,6)", "DTMB(2,6)")
+    # Therefore the EY leader changes somewhere on the grid.
+    assert len(result.crossovers()) >= 1
+
+    # EY never exceeds raw yield (area penalty is real).
+    for point in result.points:
+        assert point.effective <= point.yield_value + 1e-12
+
+    # At p = 1 the ranking is pure area: DTMB(1,6) wins outright.
+    assert result.best_design_at(1.0) == "DTMB(1,6)"

@@ -1,0 +1,43 @@
+"""Figure 12: the DTMB(2,6) redesign and a 10-fault local reconfiguration."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark.pedantic(
+        fig12.run, kwargs={"seed": 2005}, rounds=1, iterations=1
+    )
+    report("Figure 12: redesign + reconfiguration demo", result.format_report())
+
+    # The paper's exact cell counts.
+    chip = result.layout.chip
+    assert chip.primary_count == 252
+    assert chip.spare_count == 91
+    assert result.layout.used_count == 108
+
+    # 10 faults injected and every faulty used cell repaired locally.
+    assert len(result.faults) == 10
+    assert result.repaired
+    result.plan.validate_against(chip)
+
+    # The multiplexed assay still executes correctly through the remap.
+    assert result.assay_result is not None
+    assert result.assay_result.relative_error < 0.02
+
+
+def test_bench_fig12_many_seeds(benchmark):
+    # Robustness across fault maps: most 10-fault maps are repairable.
+    def sweep():
+        repaired = 0
+        for seed in range(100):
+            if fig12.run(seed=seed, run_assay=False).repaired:
+                repaired += 1
+        return repaired
+
+    repaired = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("Figure 12 robustness", f"repaired {repaired}/100 ten-fault maps")
+    assert repaired >= 95  # consistent with Fig 13's ~0.997 yield at m=10

@@ -1,0 +1,45 @@
+"""Figure 9: Monte-Carlo yield of DTMB(2,6), DTMB(3,6), DTMB(4,4).
+
+The heavyweight benchmark: 3 designs x 3 array sizes x 11 survival
+probabilities at the paper's 10 000 runs per point (override with
+REPRO_BENCH_RUNS).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, runs):
+    result = benchmark.pedantic(
+        fig9.run, kwargs={"runs": runs}, rounds=1, iterations=1
+    )
+    for n in (60, 120, 240):
+        report(f"Figure 9 (n={n})", result.format_chart(n))
+
+    slack = 0.02  # Monte-Carlo noise allowance at 10k runs
+    for n in (60, 120, 240):
+        for p in (0.90, 0.93, 0.96, 0.99):
+            y26 = result.yield_at("DTMB(2,6)", n, p)
+            y36 = result.yield_at("DTMB(3,6)", n, p)
+            y44 = result.yield_at("DTMB(4,4)", n, p)
+            # Higher redundancy -> higher yield, the paper's ordering.
+            assert y26 <= y36 + slack, (n, p)
+            assert y36 <= y44 + slack, (n, p)
+        # Perfect cells -> perfect yield.
+        for design in ("DTMB(2,6)", "DTMB(3,6)", "DTMB(4,4)"):
+            assert result.yield_at(design, n, 1.0) == 1.0
+
+    # Larger arrays yield less at equal p (more cells to get lucky on).
+    for design in ("DTMB(2,6)", "DTMB(3,6)", "DTMB(4,4)"):
+        for p in (0.92, 0.95):
+            assert result.yield_at(design, 240, p) <= (
+                result.yield_at(design, 60, p) + slack
+            )
+
+    # Factor check at a mid-grid point the paper's figure shows clearly:
+    # at n = 240, p = 0.92 the heavy design is far ahead of the light one.
+    assert result.yield_at("DTMB(4,4)", 240, 0.92) > 0.95
+    assert result.yield_at("DTMB(2,6)", 240, 0.92) < 0.70

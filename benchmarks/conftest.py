@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper at
+the paper's Monte-Carlo budget (10 000 runs per point unless stated) and
+asserts the *shape* claims — who wins, by roughly what factor, where the
+crossovers fall.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_RUNS`` to lower the budget for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Monte-Carlo runs per point; the paper uses 10 000.
+FULL_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10000"))
+
+
+@pytest.fixture(scope="session")
+def runs() -> int:
+    return FULL_RUNS
+
+
+def report(title: str, body: str) -> None:
+    """Print a labelled report block (shown with pytest -s)."""
+    print(f"\n=== {title} ===\n{body}\n")

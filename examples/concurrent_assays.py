@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Concurrent bioassays: several droplets in flight on a repaired chip.
+
+The paper's opening promise is that "several bioassays [will] be
+concurrently executed in a single microfluidic array."  This example puts
+that together with the maintenance loop:
+
+1. a DTMB(2,6) array suffers manufacturing faults;
+2. the maintenance loop tests, diagnoses and repairs it;
+3. four droplets (two sample/reagent pairs) are routed *simultaneously*
+   with the time-expanded concurrent router — no accidental merges, faults
+   avoided, all through the repair remap.
+
+Run:  python examples/concurrent_assays.py
+"""
+
+from repro.designs import DTMB_2_6, build_chip
+from repro.dft import maintain
+from repro.faults import FixedCountInjector
+from repro.fluidics import ConcurrentRouter, RouteRequest
+from repro.geometry import RectRegion, offset_to_axial
+from repro.viz import render_chip, render_legend
+
+
+def main() -> None:
+    region = RectRegion(12, 12)
+    chip = build_chip(DTMB_2_6, region)
+    print(f"chip: {chip.primary_count} primary + {chip.spare_count} spare")
+
+    # --- manufacturing defects + maintenance cycle ----------------------
+    FixedCountInjector(5).sample(chip, seed=17).apply_to(chip)
+    report = maintain(chip, region=region)
+    print(report.format_report())
+    if not report.usable:
+        raise SystemExit("chip is scrap; rerun with another seed")
+
+    # --- concurrent routing through the remap ---------------------------
+    # Two assays' worth of droplets: samples from the west edge, reagents
+    # from the east edge, meeting at two separated mixer sites.
+    primaries = {c.coord for c in chip.primaries()}
+
+    def usable_near(col, row):
+        # nearest good primary to the requested offset cell
+        target = offset_to_axial(col, row)
+        candidates = sorted(
+            (target.distance(p), p)
+            for p in primaries
+            if chip[p].is_good or (report.remap and p not in report.remap.dead_cells)
+        )
+        return candidates[0][1]
+
+    requests = [
+        RouteRequest("sample-1", usable_near(0, 2), usable_near(6, 3)),
+        RouteRequest("reagent-1", usable_near(11, 2), usable_near(8, 3)),
+        RouteRequest("sample-2", usable_near(0, 9), usable_near(6, 8)),
+        RouteRequest("reagent-2", usable_near(11, 9), usable_near(8, 8)),
+    ]
+    router = ConcurrentRouter(chip, remap=report.remap)
+    plan = router.plan(requests)
+
+    print(f"\nconcurrent plan: {len(requests)} droplets, "
+          f"makespan {plan.makespan} steps, {plan.total_moves()} moves total")
+    lower_bound = max(r.source.distance(r.target) for r in requests)
+    print(f"(single-droplet lower bound: {lower_bound} steps — "
+          f"concurrency overhead {plan.makespan - lower_bound} steps)")
+
+    for request in requests:
+        trajectory = plan.trajectories[request.name]
+        waits = sum(1 for a, b in zip(trajectory, trajectory[1:]) if a == b)
+        print(f"  {request.name:<10} {request.source} -> {request.target}: "
+              f"{len(trajectory) - 1 - waits} moves, {waits} waits")
+
+    print("\nchip with repairs:")
+    print(render_chip(chip, plan=report.repair))
+    print(render_legend())
+
+
+if __name__ == "__main__":
+    main()

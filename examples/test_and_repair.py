@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Offline test, diagnosis and repair: the chip's post-fab workflow.
+
+Demonstrates the design-for-test substrate the paper builds on (its refs
+[10, 11]) feeding the repair engine:
+
+1. plan a stimuli-droplet traversal covering every cell (snake plan);
+2. go/no-go test — single droplet, then concurrent multi-droplet;
+3. adaptive diagnosis locates the faulty cells via prefix bisection;
+4. local reconfiguration repairs them;
+5. the repaired chip is re-tested through the remap and shipped as SVG.
+
+Run:  python examples/test_and_repair.py
+"""
+
+from repro.designs import DTMB_2_6, build_chip
+from repro.dft import concurrent_test, diagnose, snake_plan, test_chip
+from repro.faults import FixedCountInjector
+from repro.geometry import RectRegion
+from repro.reconfig import CellRemap, plan_local_repair
+from repro.viz import render_chip, render_legend, write_svg
+
+
+def main() -> None:
+    region = RectRegion(12, 12)
+    chip = build_chip(DTMB_2_6, region)
+    plan = snake_plan(region)
+    print(f"chip: {chip.primary_count} primary + {chip.spare_count} spare; "
+          f"test plan covers {len(plan)} cells")
+
+    # A fresh chip passes the full traversal.
+    outcome = test_chip(chip, plan)
+    print(f"pre-damage test: {'PASS' if outcome.passed else 'FAIL'} "
+          f"({outcome.cells_traversed} moves)")
+
+    # Concurrent testing: 3 droplets, ~3x faster.
+    result = concurrent_test(chip, plan, droplets=3)
+    print(f"concurrent test with 3 droplets: "
+          f"{result.steps} lockstep steps "
+          f"({result.speedup_vs_single:.1f}x speedup)")
+
+    # Manufacturing defects strike.
+    FixedCountInjector(4).sample(chip, seed=11).apply_to(chip)
+    truth = sorted(c.coord for c in chip.faulty_cells())
+    outcome = test_chip(chip, plan)
+    print(f"\npost-damage test: {'PASS' if outcome.passed else 'FAIL'}")
+
+    # Adaptive diagnosis: binary search along the failing traversal.
+    report = diagnose(chip, plan)
+    print(f"diagnosis: located {len(report.located)} faults in "
+          f"{report.probes} droplet probes / {report.moves} moves")
+    print(f"  located : {sorted(report.located)}")
+    print(f"  truth   : {truth}")
+    assert set(report.located) == set(truth)
+
+    # Repair by local reconfiguration.
+    repair = plan_local_repair(chip)
+    print(f"\nrepair: {'complete' if repair.complete else 'INCOMPLETE'} "
+          f"({repair.spares_used} spares in use)")
+    print(render_chip(chip, plan=repair))
+    print(render_legend())
+
+    # The repaired chip, as its controller sees it.
+    remap = CellRemap(chip, repair)
+    print(f"\nlogical->physical remap covers {remap.remapped_count} cells; "
+          f"dead cells: {list(remap.dead_cells) or 'none'}")
+
+    out = "repaired_chip.svg"
+    write_svg(chip, out, plan=repair)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Yield explorer: compare redundancy architectures across fab quality.
+
+Reproduces the decision the paper's Figures 7, 9 and 10 support: given a
+process survival probability, which DTMB(s, p) architecture should a chip
+designer pick?  Sweeps all four designs, prints yield and effective-yield
+charts, reports the crossover points, and exports the raw series to CSV.
+
+Run:  python examples/yield_explorer.py [runs_per_point]
+"""
+
+import sys
+
+from repro.designs import TABLE1_DESIGNS
+from repro.experiments import fig10
+from repro.viz import ascii_chart, write_csv
+from repro.yieldsim import dtmb16_yield, yield_no_redundancy
+
+
+def main() -> None:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    n = 100
+
+    # --- analytic teaser: what redundancy buys at all (Figure 7) -------
+    ps = [round(0.90 + 0.01 * i, 2) for i in range(11)]
+    teaser = {
+        "DTMB(1,6)": [(p, dtmb16_yield(p, n)) for p in ps],
+        "no spares": [(p, yield_no_redundancy(p, n)) for p in ps],
+    }
+    print(ascii_chart(teaser, title=f"Yield, n={n} primary cells",
+                      y_label="Y", x_label="cell survival probability p"))
+
+    # --- the real comparison: effective yield (Figure 10) --------------
+    print(f"\nsweeping {len(TABLE1_DESIGNS)} designs x {len(ps)} points "
+          f"at {runs} Monte-Carlo runs each...")
+    result = fig10.run(ps=ps, runs=runs, seed=99)
+    print()
+    print(result.format_chart())
+
+    print("\nbest design by fab quality:")
+    for p in ps:
+        print(f"  p={p:.2f}: {result.best_design_at(p)}")
+    for p, old, new in result.crossovers():
+        print(f"crossover at p~{p:.2f}: {old} -> {new}")
+
+    # --- export for external plotting ----------------------------------
+    rows = [
+        (pt.design, pt.p, f"{pt.yield_value:.4f}", f"{pt.effective:.4f}")
+        for pt in result.points
+    ]
+    out = "yield_explorer.csv"
+    write_csv(out, ["design", "p", "yield", "effective_yield"], rows)
+    print(f"\nwrote {len(rows)} rows to {out}")
+
+
+if __name__ == "__main__":
+    main()

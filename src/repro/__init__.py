@@ -1,0 +1,30 @@
+"""repro: defect-tolerant digital microfluidic biochips.
+
+A from-scratch reproduction of Su, Chakrabarty & Pamula, "Yield Enhancement
+of Digital Microfluidics-Based Biochips Using Space Redundancy and Local
+Reconfiguration" (DATE 2005).
+
+The library models hexagonal- and square-electrode biochip arrays, the
+DTMB(s, p) interstitial-redundancy architectures, fault injection, local
+reconfiguration by maximum bipartite matching, analytical and Monte-Carlo
+yield estimation, and — as executable substrates — droplet fluidics,
+droplet-based test/diagnosis, and the Trinder-reaction diagnostics panel
+the paper evaluates on.
+
+Quick start::
+
+    from repro.designs import DTMB_2_6, build_with_primary_count
+    from repro.yieldsim import YieldSimulator
+
+    chip = build_with_primary_count(DTMB_2_6, 100).build()
+    print(YieldSimulator(chip).run_survival(p=0.95, runs=10_000, seed=1))
+
+See ``examples/`` for full walkthroughs and ``repro.experiments`` for the
+drivers that regenerate every table and figure of the paper.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,69 @@
+"""Bioassay layer: Trinder chemistry, detection, chip specs and execution.
+
+* :mod:`repro.assays.chemistry` — Michaelis-Menten cascade simulation of
+  Trinder's reaction (Section 7);
+* :mod:`repro.assays.detection` — Beer-Lambert / LED-photodiode optics;
+* :mod:`repro.assays.library` — the glucose / lactate / glutamate /
+  pyruvate diagnostics panel;
+* :mod:`repro.assays.chipspec` — the Figure 11 fabricated chip and the
+  Figure 12 DTMB(2,6) redesign (252 primaries, 108 used, 91 spares);
+* :mod:`repro.assays.runner` — end-to-end assay execution, repair-aware.
+"""
+
+from repro.assays.chemistry import (
+    MichaelisMentenStep,
+    ReactionCascade,
+    Species,
+    trinder_cascade,
+)
+from repro.assays.chipspec import (
+    PAPER_PRIMARY_COUNT,
+    PAPER_SPARE_COUNT,
+    PAPER_USED_COUNT,
+    DiagnosticsChip,
+    fabricated_chip,
+    redesigned_chip,
+)
+from repro.assays.detection import BeerLambert, OpticalDetector, Photodiode
+from repro.assays.library import (
+    GLUCOSE_ASSAY,
+    GLUTAMATE_ASSAY,
+    LACTATE_ASSAY,
+    PANEL,
+    PYRUVATE_ASSAY,
+    AssaySpec,
+    assay_by_analyte,
+)
+from repro.assays.runner import (
+    AssayResult,
+    CalibrationCurve,
+    MultiplexedRunner,
+    run_assay,
+)
+
+__all__ = [
+    "Species",
+    "MichaelisMentenStep",
+    "ReactionCascade",
+    "trinder_cascade",
+    "BeerLambert",
+    "Photodiode",
+    "OpticalDetector",
+    "AssaySpec",
+    "PANEL",
+    "GLUCOSE_ASSAY",
+    "LACTATE_ASSAY",
+    "GLUTAMATE_ASSAY",
+    "PYRUVATE_ASSAY",
+    "assay_by_analyte",
+    "DiagnosticsChip",
+    "fabricated_chip",
+    "redesigned_chip",
+    "PAPER_USED_COUNT",
+    "PAPER_PRIMARY_COUNT",
+    "PAPER_SPARE_COUNT",
+    "AssayResult",
+    "CalibrationCurve",
+    "run_assay",
+    "MultiplexedRunner",
+]

@@ -1,0 +1,184 @@
+"""Enzyme-kinetic reaction simulation for colorimetric assays.
+
+Section 7 of the paper: the glucose assay is Trinder's reaction, a
+colorimetric enzyme-based method::
+
+    glucose + O2 + H2O   --glucose oxidase-->  gluconic acid + H2O2
+    2 H2O2 + 4-AAP + TOPS --peroxidase-->      quinoneimine + 4 H2O
+
+The violet quinoneimine absorbs at 545 nm; its concentration after a fixed
+reaction window encodes the sample's glucose concentration.  The same
+oxidase/peroxidase cascade with a different first-step enzyme measures
+lactate, glutamate and pyruvate — the multiplexed in-vitro diagnostics
+panel.
+
+We integrate Michaelis-Menten kinetics with an explicit-Euler stepper.
+The oxygen and water co-substrates are treated as saturating (their
+concentrations in an oil-encapsulated nanoliter droplet far exceed the
+analyte's), which is the standard assumption for Trinder-type assays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AssayError
+
+__all__ = [
+    "Species",
+    "MichaelisMentenStep",
+    "ReactionCascade",
+    "trinder_cascade",
+]
+
+
+class Species:
+    """Canonical species names used across the assay layer."""
+
+    GLUCOSE = "glucose"
+    LACTATE = "lactate"
+    GLUTAMATE = "glutamate"
+    PYRUVATE = "pyruvate"
+    H2O2 = "H2O2"
+    AAP4 = "4-AAP"
+    TOPS = "TOPS"
+    QUINONEIMINE = "quinoneimine"
+    GLUCOSE_OXIDASE = "glucose oxidase"
+    LACTATE_OXIDASE = "lactate oxidase"
+    GLUTAMATE_OXIDASE = "glutamate oxidase"
+    PYRUVATE_OXIDASE = "pyruvate oxidase"
+    PEROXIDASE = "peroxidase"
+
+
+@dataclass(frozen=True)
+class MichaelisMentenStep:
+    """One enzymatic step: substrate → product, catalyzed by ``enzyme``.
+
+    Rate law: ``v = kcat * [E] * [S] / (Km + [S])``, with optional
+    co-substrates that are *consumed* stoichiometrically but, if their
+    concentration falls below the substrate's demand, throttle the rate
+    (simple limiting-reagent clamp).
+
+    ``substrate_per_product`` expresses stoichiometry: Trinder's second
+    step consumes 2 H2O2 per quinoneimine formed.
+    """
+
+    name: str
+    enzyme: str
+    substrate: str
+    product: str
+    kcat: float  # 1/s
+    km: float  # mol/L
+    cosubstrates: Tuple[str, ...] = ()
+    substrate_per_product: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kcat <= 0:
+            raise AssayError(f"{self.name}: kcat must be positive")
+        if self.km <= 0:
+            raise AssayError(f"{self.name}: Km must be positive")
+        if self.substrate_per_product <= 0:
+            raise AssayError(f"{self.name}: stoichiometry must be positive")
+
+    def rate(self, contents: Dict[str, float]) -> float:
+        """Instantaneous product-formation rate (mol/L/s)."""
+        enzyme = contents.get(self.enzyme, 0.0)
+        substrate = contents.get(self.substrate, 0.0)
+        if enzyme <= 0.0 or substrate <= 0.0:
+            return 0.0
+        return (self.kcat * enzyme * substrate) / (self.km + substrate)
+
+
+class ReactionCascade:
+    """A fixed sequence of Michaelis-Menten steps sharing one droplet.
+
+    The cascade is integrated with explicit Euler; step sizes are clamped
+    so no species goes negative (the limiting-reagent rule).
+    """
+
+    def __init__(self, steps: Sequence[MichaelisMentenStep]):
+        if not steps:
+            raise AssayError("a cascade needs at least one step")
+        self.steps: Tuple[MichaelisMentenStep, ...] = tuple(steps)
+
+    def simulate(
+        self,
+        contents: Dict[str, float],
+        duration: float,
+        dt: float = 0.05,
+    ) -> Dict[str, float]:
+        """Evolve ``contents`` (mol/L) for ``duration`` seconds.
+
+        Returns a new dict; the input is not mutated.  ``dt`` trades
+        accuracy for speed; the default resolves the default kinetic
+        parameters to well under 1% error (validated in tests against a
+        halved step size).
+        """
+        if duration < 0:
+            raise AssayError(f"duration must be >= 0, got {duration}")
+        if dt <= 0:
+            raise AssayError(f"dt must be positive, got {dt}")
+        state = dict(contents)
+        remaining = duration
+        while remaining > 1e-12:
+            step_dt = min(dt, remaining)
+            remaining -= step_dt
+            for step in self.steps:
+                velocity = step.rate(state)
+                if velocity <= 0.0:
+                    continue
+                produced = velocity * step_dt
+                # Limiting reagents: cannot consume more substrate or
+                # co-substrate than present.
+                max_by_substrate = (
+                    state.get(step.substrate, 0.0) / step.substrate_per_product
+                )
+                produced = min(produced, max_by_substrate)
+                for co in step.cosubstrates:
+                    produced = min(produced, state.get(co, 0.0))
+                if produced <= 0.0:
+                    continue
+                state[step.substrate] = (
+                    state.get(step.substrate, 0.0)
+                    - produced * step.substrate_per_product
+                )
+                for co in step.cosubstrates:
+                    state[co] = state.get(co, 0.0) - produced
+                state[step.product] = state.get(step.product, 0.0) + produced
+        return state
+
+
+def trinder_cascade(
+    oxidase: str = Species.GLUCOSE_OXIDASE,
+    analyte: str = Species.GLUCOSE,
+    oxidase_kcat: float = 600.0,
+    oxidase_km: float = 33e-3,
+    peroxidase_kcat: float = 1500.0,
+    peroxidase_km: float = 1.2e-3,
+) -> ReactionCascade:
+    """The two-step Trinder cascade for a given analyte/oxidase pair.
+
+    Default kinetic constants are representative literature values for
+    Aspergillus niger glucose oxidase and horseradish peroxidase; the
+    assay library overrides the first step per analyte.
+    """
+    first = MichaelisMentenStep(
+        name=f"{analyte} oxidation",
+        enzyme=oxidase,
+        substrate=analyte,
+        product=Species.H2O2,
+        kcat=oxidase_kcat,
+        km=oxidase_km,
+    )
+    second = MichaelisMentenStep(
+        name="Trinder color reaction",
+        enzyme=Species.PEROXIDASE,
+        substrate=Species.H2O2,
+        product=Species.QUINONEIMINE,
+        kcat=peroxidase_kcat,
+        km=peroxidase_km,
+        cosubstrates=(Species.AAP4, Species.TOPS),
+        substrate_per_product=2.0,
+    )
+    return ReactionCascade([first, second])

@@ -1,0 +1,213 @@
+"""The multiplexed-diagnostics chip: Figure 11 baseline and Figure 12 redesign.
+
+Two concrete layouts anchor the paper's case study:
+
+* :func:`fabricated_chip` — the first-generation square-electrode chip of
+  Figure 11.  "Only cells used for the bioassays were fabricated; no spare
+  cells were included" — 108 primary cells, so its yield is ``p**108``
+  (0.3378 at p = 0.99, the paper's headline baseline).
+* :func:`redesigned_chip` — the defect-tolerant redesign of Figure 12: the
+  primary-cell topology mapped onto DTMB(2, 6) with hexagonal electrodes,
+  containing exactly the paper's counts: **252 primary cells (108 used in
+  assays) and 91 spare cells** (343 cells total).
+
+The redesign is built deterministically: the 252 primaries are the first
+252 non-spare cells in spiral order around the origin of the DTMB(2, 6)
+pattern, and the 91 spares are the interstitial sites most connected to
+them (ties broken lexicographically).  Every primary retains at least one
+adjacent spare; interior primaries retain both.  The 108 assay-used cells
+are the innermost primaries — the compact working region the assays were
+placed in — with ports, mixers and detector sites assigned on top.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.chip.builders import chip_from_roles, square_chip
+from repro.chip.cell import CellRole
+from repro.designs.catalog import DTMB_2_6
+from repro.errors import ChipError
+from repro.geometry.hex import Hex, axial_to_pixel, hex_spiral
+
+__all__ = [
+    "PAPER_USED_COUNT",
+    "PAPER_PRIMARY_COUNT",
+    "PAPER_SPARE_COUNT",
+    "DiagnosticsChip",
+    "fabricated_chip",
+    "redesigned_chip",
+]
+
+#: Cell counts quoted in Section 7 of the paper.
+PAPER_USED_COUNT = 108
+PAPER_PRIMARY_COUNT = 252
+PAPER_SPARE_COUNT = 91
+
+#: Port names on the fabricated chip (Figure 11).
+_PORT_NAMES = ("SAMPLE1", "SAMPLE2", "REAGENT1", "REAGENT2")
+
+
+@dataclass(frozen=True)
+class DiagnosticsChip:
+    """A diagnostics layout with its functional-site map.
+
+    ``used`` are the primary cells the bioassays occupy (the cells whose
+    health determines whether the chip is usable); ``ports`` the dispense
+    sites; ``mixers`` and ``detectors`` the processing sites, one of each
+    per concurrently-running assay.
+    """
+
+    chip: Biochip
+    used: Tuple[Hex, ...]
+    ports: Dict[str, Hex]
+    mixers: Tuple[Hex, ...]
+    detectors: Tuple[Hex, ...]
+
+    @property
+    def used_count(self) -> int:
+        return len(self.used)
+
+    def describe(self) -> str:
+        return (
+            f"{self.chip.name}: {self.chip.primary_count} primary "
+            f"({self.used_count} used), {self.chip.spare_count} spare"
+        )
+
+
+def fabricated_chip() -> Biochip:
+    """The Figure 11 chip: 12x9 square electrodes, all primary, no spares."""
+    chip = square_chip(12, 9, name="fabricated-diagnostics")
+    if len(chip) != PAPER_USED_COUNT:
+        raise ChipError(
+            f"fabricated chip must have {PAPER_USED_COUNT} cells, got {len(chip)}"
+        )
+    # Dispense ports at the four corners, as on the fabricated device.
+    corners = {
+        "SAMPLE1": (0, 0),
+        "SAMPLE2": (11, 0),
+        "REAGENT1": (0, 8),
+        "REAGENT2": (11, 8),
+    }
+    from repro.geometry.square import Square
+
+    for name, (x, y) in corners.items():
+        chip.set_label(Square(x, y), name)
+    return chip
+
+
+def _spiral_primaries(count: int) -> List[Hex]:
+    """The first ``count`` DTMB(2,6) primary cells in spiral order."""
+    lattice = DTMB_2_6.spare_lattice
+    primaries: List[Hex] = []
+    radius = 4
+    while True:
+        primaries = [h for h in hex_spiral(Hex(0, 0), radius) if h not in lattice]
+        if len(primaries) >= count:
+            return primaries[:count]
+        radius += 2
+
+
+def _best_connected_spares(primaries: List[Hex], count: int) -> List[Hex]:
+    """The ``count`` interstitial spares most connected to ``primaries``."""
+    lattice = DTMB_2_6.spare_lattice
+    degree: Counter = Counter()
+    for cell in primaries:
+        for neighbor in cell.neighbors():
+            if neighbor in lattice:
+                degree[neighbor] += 1
+    if len(degree) < count:
+        raise ChipError(
+            f"only {len(degree)} interstitial sites adjacent to the primary "
+            f"region; cannot select {count}"
+        )
+    ranked = sorted(degree, key=lambda s: (-degree[s], s.q, s.r))
+    return ranked[:count]
+
+
+def _nearest_used(target_xy: Tuple[float, float], used: List[Hex], taken: set) -> Hex:
+    """The used cell whose pixel center is closest to ``target_xy``."""
+    tx, ty = target_xy
+    best = None
+    best_d2 = None
+    for cell in used:
+        if cell in taken:
+            continue
+        x, y = axial_to_pixel(cell)
+        d2 = (x - tx) ** 2 + (y - ty) ** 2
+        if best_d2 is None or (d2, cell.q, cell.r) < (best_d2, best.q, best.r):
+            best = cell
+            best_d2 = d2
+    if best is None:
+        raise ChipError("ran out of used cells while placing functional sites")
+    return best
+
+
+def redesigned_chip() -> DiagnosticsChip:
+    """The Figure 12 defect-tolerant redesign (DTMB(2,6), 252 + 91 cells)."""
+    primaries = _spiral_primaries(PAPER_PRIMARY_COUNT)
+    spares = _best_connected_spares(primaries, PAPER_SPARE_COUNT)
+    roles = {h: CellRole.PRIMARY for h in primaries}
+    roles.update({h: CellRole.SPARE for h in spares})
+    used = tuple(primaries[:PAPER_USED_COUNT])
+
+    # Functional sites inside the used region, placed by direction from the
+    # array center: dispense ports at the four extremes (where the off-chip
+    # reservoirs connect), mixers on an inner ring, detectors nearer the
+    # center (transparent electrodes for the optical path).
+    used_list = list(used)
+    taken: set = set()
+    ports: Dict[str, Hex] = {}
+    extremes = {
+        "SAMPLE1": (-8.0, 0.0),
+        "SAMPLE2": (8.0, 0.0),
+        "REAGENT1": (0.0, -8.0),
+        "REAGENT2": (0.0, 8.0),
+    }
+    for name, target in extremes.items():
+        cell = _nearest_used(target, used_list, taken)
+        ports[name] = cell
+        taken.add(cell)
+
+    mixer_targets = [(3.0, 3.0), (-3.0, 3.0), (-3.0, -3.0), (3.0, -3.0)]
+    mixers = []
+    for target in mixer_targets:
+        cell = _nearest_used(target, used_list, taken)
+        mixers.append(cell)
+        taken.add(cell)
+
+    detector_targets = [(1.5, 0.0), (0.0, 1.5), (-1.5, 0.0), (0.0, -1.5)]
+    detectors = []
+    for target in detector_targets:
+        cell = _nearest_used(target, used_list, taken)
+        detectors.append(cell)
+        taken.add(cell)
+
+    labels: Dict[Hex, str] = {}
+    for name, cell in ports.items():
+        labels[cell] = name
+    for i, cell in enumerate(mixers, start=1):
+        labels[cell] = f"MIXER{i}"
+    for i, cell in enumerate(detectors, start=1):
+        labels[cell] = f"DETECTOR{i}"
+
+    chip = chip_from_roles(roles, labels=labels, name="redesigned-diagnostics")
+    if chip.primary_count != PAPER_PRIMARY_COUNT:
+        raise ChipError(
+            f"redesign must have {PAPER_PRIMARY_COUNT} primaries, "
+            f"got {chip.primary_count}"
+        )
+    if chip.spare_count != PAPER_SPARE_COUNT:
+        raise ChipError(
+            f"redesign must have {PAPER_SPARE_COUNT} spares, got {chip.spare_count}"
+        )
+    return DiagnosticsChip(
+        chip=chip,
+        used=used,
+        ports=ports,
+        mixers=tuple(mixers),
+        detectors=tuple(detectors),
+    )

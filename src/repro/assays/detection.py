@@ -1,0 +1,114 @@
+"""Optical detection: LED + photodiode absorbance measurement.
+
+"The mixed droplet is transported onto a transparent electrode to enable
+observation of the absorbance ... Absorbance measurements are performed
+with a green LED and a photodiode.  The glucose concentration can be
+measured from the absorbance, which is related to the concentration of
+colored quinoneimine in the droplet."
+
+Beer-Lambert converts quinoneimine concentration to absorbance at 545 nm
+over the droplet height (the plate gap); the photodiode model adds optional
+shot/readout noise so detector-limited precision can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.assays.chemistry import Species
+from repro.errors import AssayError
+from repro.faults.injection import RngLike, make_rng
+
+__all__ = ["BeerLambert", "Photodiode", "OpticalDetector"]
+
+#: Molar absorptivity of the Trinder quinoneimine dye at 545 nm
+#: (L / mol / cm), representative literature value.
+QUINONEIMINE_EPSILON_545 = 1.5e4
+
+
+@dataclass(frozen=True)
+class BeerLambert:
+    """Absorbance model A = epsilon * c * l.
+
+    ``path_length_cm`` is the optical path through the droplet — the gap
+    between the plates (300 um = 0.03 cm by default).
+    """
+
+    epsilon: float = QUINONEIMINE_EPSILON_545
+    path_length_cm: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise AssayError("molar absorptivity must be positive")
+        if self.path_length_cm <= 0:
+            raise AssayError("optical path length must be positive")
+
+    def absorbance(self, concentration: float) -> float:
+        """Absorbance of a solution at ``concentration`` mol/L."""
+        if concentration < 0:
+            raise AssayError(f"concentration must be >= 0, got {concentration}")
+        return self.epsilon * concentration * self.path_length_cm
+
+    def concentration(self, absorbance: float) -> float:
+        """Invert Beer-Lambert (valid in the linear range)."""
+        if absorbance < 0:
+            raise AssayError(f"absorbance must be >= 0, got {absorbance}")
+        return absorbance / (self.epsilon * self.path_length_cm)
+
+
+@dataclass(frozen=True)
+class Photodiode:
+    """Transmitted-light detector with multiplicative readout noise.
+
+    ``noise_fraction`` is the 1-sigma relative error on the transmitted
+    intensity; 0 gives an ideal detector.
+    """
+
+    incident_intensity: float = 1.0
+    noise_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.incident_intensity <= 0:
+            raise AssayError("incident intensity must be positive")
+        if self.noise_fraction < 0:
+            raise AssayError("noise fraction must be >= 0")
+
+    def transmitted(self, absorbance: float, seed: RngLike = None) -> float:
+        """Measured transmitted intensity for a given true absorbance."""
+        ideal = self.incident_intensity * 10.0 ** (-absorbance)
+        if self.noise_fraction == 0.0:
+            return ideal
+        rng = make_rng(seed)
+        noisy = ideal * (1.0 + self.noise_fraction * rng.standard_normal())
+        return max(noisy, 1e-12 * self.incident_intensity)
+
+    def absorbance_from(self, transmitted: float) -> float:
+        """Recover absorbance from a transmitted-intensity reading."""
+        if transmitted <= 0:
+            raise AssayError("transmitted intensity must be positive")
+        return float(np.log10(self.incident_intensity / transmitted))
+
+
+class OpticalDetector:
+    """End-to-end measurement: droplet chemistry → measured absorbance."""
+
+    def __init__(
+        self,
+        optics: Optional[BeerLambert] = None,
+        photodiode: Optional[Photodiode] = None,
+        species: str = Species.QUINONEIMINE,
+    ):
+        self.optics = optics or BeerLambert()
+        self.photodiode = photodiode or Photodiode()
+        self.species = species
+
+    def measure(self, contents: dict, seed: RngLike = None) -> float:
+        """Measured absorbance of a droplet's contents at 545 nm."""
+        true_absorbance = self.optics.absorbance(
+            contents.get(self.species, 0.0)
+        )
+        reading = self.photodiode.transmitted(true_absorbance, seed=seed)
+        return self.photodiode.absorbance_from(reading)

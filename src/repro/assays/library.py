@@ -1,0 +1,134 @@
+"""The multiplexed in-vitro diagnostics assay panel.
+
+"The in-vitro measurement of glucose and other metabolites, such as
+lactate, glutamate and pyruvate, in human physiological fluids plays a
+critical role in clinical diagnosis of metabolic disorders."  Each assay is
+the same Trinder-type cascade with a different analyte-specific oxidase;
+this module catalogs the four panel members with representative kinetic
+constants and their physiological reference ranges, plus the standard
+reagent cocktail dispensed with each assay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.assays.chemistry import ReactionCascade, Species, trinder_cascade
+from repro.errors import AssayError
+
+__all__ = ["AssaySpec", "GLUCOSE_ASSAY", "LACTATE_ASSAY", "GLUTAMATE_ASSAY",
+           "PYRUVATE_ASSAY", "PANEL", "assay_by_analyte"]
+
+
+@dataclass(frozen=True)
+class AssaySpec:
+    """One colorimetric assay of the diagnostics panel.
+
+    ``reference_range`` is the normal physiological concentration window
+    (mol/L) in the target fluid; results outside it are flagged in
+    reports.  ``reagent_contents`` is what the reagent droplet carries
+    (enzymes + chromogens, mol/L).
+    """
+
+    analyte: str
+    oxidase: str
+    cascade: ReactionCascade
+    reference_range: Tuple[float, float]
+    reagent_contents: Dict[str, float]
+    fluid: str = "blood plasma"
+
+    def __post_init__(self) -> None:
+        lo, hi = self.reference_range
+        if not 0 <= lo < hi:
+            raise AssayError(
+                f"{self.analyte}: invalid reference range ({lo}, {hi})"
+            )
+
+    def in_reference_range(self, concentration: float) -> bool:
+        lo, hi = self.reference_range
+        return lo <= concentration <= hi
+
+
+def _reagent(oxidase: str, oxidase_conc: float = 2e-6) -> Dict[str, float]:
+    """The Trinder reagent cocktail: oxidase + peroxidase + chromogens."""
+    return {
+        oxidase: oxidase_conc,
+        Species.PEROXIDASE: 1e-6,
+        Species.AAP4: 10e-3,
+        Species.TOPS: 10e-3,
+    }
+
+
+GLUCOSE_ASSAY = AssaySpec(
+    analyte=Species.GLUCOSE,
+    oxidase=Species.GLUCOSE_OXIDASE,
+    cascade=trinder_cascade(
+        oxidase=Species.GLUCOSE_OXIDASE,
+        analyte=Species.GLUCOSE,
+        oxidase_kcat=600.0,
+        oxidase_km=33e-3,
+    ),
+    reference_range=(3.9e-3, 6.1e-3),  # 70-110 mg/dL fasting plasma
+    reagent_contents=_reagent(Species.GLUCOSE_OXIDASE),
+)
+
+LACTATE_ASSAY = AssaySpec(
+    analyte=Species.LACTATE,
+    oxidase=Species.LACTATE_OXIDASE,
+    cascade=trinder_cascade(
+        oxidase=Species.LACTATE_OXIDASE,
+        analyte=Species.LACTATE,
+        oxidase_kcat=120.0,
+        oxidase_km=0.7e-3,
+    ),
+    reference_range=(0.5e-3, 2.2e-3),
+    reagent_contents=_reagent(Species.LACTATE_OXIDASE, oxidase_conc=4e-6),
+)
+
+GLUTAMATE_ASSAY = AssaySpec(
+    analyte=Species.GLUTAMATE,
+    oxidase=Species.GLUTAMATE_OXIDASE,
+    cascade=trinder_cascade(
+        oxidase=Species.GLUTAMATE_OXIDASE,
+        analyte=Species.GLUTAMATE,
+        oxidase_kcat=60.0,
+        oxidase_km=0.2e-3,
+    ),
+    reference_range=(20e-6, 200e-6),
+    reagent_contents=_reagent(Species.GLUTAMATE_OXIDASE, oxidase_conc=6e-6),
+)
+
+PYRUVATE_ASSAY = AssaySpec(
+    analyte=Species.PYRUVATE,
+    oxidase=Species.PYRUVATE_OXIDASE,
+    cascade=trinder_cascade(
+        oxidase=Species.PYRUVATE_OXIDASE,
+        analyte=Species.PYRUVATE,
+        oxidase_kcat=90.0,
+        oxidase_km=0.3e-3,
+    ),
+    reference_range=(40e-6, 120e-6),
+    reagent_contents=_reagent(Species.PYRUVATE_OXIDASE, oxidase_conc=5e-6),
+)
+
+#: The full multiplexed diagnostics panel, in the paper's order.
+PANEL: Tuple[AssaySpec, ...] = (
+    GLUCOSE_ASSAY,
+    LACTATE_ASSAY,
+    GLUTAMATE_ASSAY,
+    PYRUVATE_ASSAY,
+)
+
+_BY_ANALYTE = {spec.analyte: spec for spec in PANEL}
+
+
+def assay_by_analyte(analyte: str) -> AssaySpec:
+    """Panel lookup by analyte name."""
+    try:
+        return _BY_ANALYTE[analyte]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ANALYTE))
+        raise AssayError(
+            f"no assay for {analyte!r}; panel covers: {known}"
+        ) from None

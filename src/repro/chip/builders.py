@@ -1,0 +1,104 @@
+"""Builders that assemble :class:`~repro.chip.biochip.Biochip` instances.
+
+Three construction styles cover everything in the paper:
+
+* a plain array with no redundancy (the baseline whose yield is ``p**n``);
+* an array whose spare cells are given by a sublattice predicate — the
+  interstitial-redundancy designs of Figures 3-6;
+* an explicit role map, for irregular layouts such as the diagnostics chip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.chip.biochip import Biochip
+from repro.chip.cell import Cell, CellRole
+from repro.errors import ChipError
+from repro.geometry.hexgrid import HexRegion, RectRegion
+from repro.geometry.square import SquareRegion
+
+__all__ = [
+    "plain_chip",
+    "chip_from_lattice",
+    "chip_from_roles",
+    "square_chip",
+]
+
+
+def plain_chip(region: HexRegion, name: str = "plain") -> Biochip:
+    """A hexagonal-electrode chip with every cell primary (no redundancy).
+
+    This is the paper's reference point: with n cells and per-cell survival
+    probability p, its yield is exactly ``p**n``.
+    """
+    return Biochip((Cell(h, CellRole.PRIMARY) for h in region), name=name)
+
+
+def chip_from_lattice(
+    region: HexRegion,
+    spare_lattice,
+    name: str = "interstitial",
+) -> Biochip:
+    """A chip whose spare cells are the region's intersection with a lattice.
+
+    Parameters
+    ----------
+    region:
+        Footprint of the array.
+    spare_lattice:
+        Any object supporting ``coord in lattice`` — typically a
+        :class:`~repro.geometry.lattice.CongruenceLattice` from the design
+        catalog.
+    """
+    cells = [
+        Cell(h, CellRole.SPARE if h in spare_lattice else CellRole.PRIMARY)
+        for h in region
+    ]
+    chip = Biochip(cells, name=name)
+    if chip.spare_count == 0:
+        raise ChipError(
+            f"lattice {spare_lattice!r} places no spares inside the region; "
+            "enlarge the region or check the congruence"
+        )
+    return chip
+
+
+def chip_from_roles(
+    roles: Mapping[Hashable, CellRole],
+    labels: Optional[Mapping[Hashable, str]] = None,
+    name: str = "custom",
+) -> Biochip:
+    """A chip from an explicit coordinate → role map (irregular layouts)."""
+    if not roles:
+        raise ChipError("role map is empty")
+    labels = labels or {}
+    cells = [
+        Cell(coord, role, label=labels.get(coord)) for coord, role in roles.items()
+    ]
+    return Biochip(cells, name=name)
+
+
+def square_chip(
+    cols: int,
+    rows: int,
+    spare_predicate: Optional[Callable[[Hashable], bool]] = None,
+    name: str = "square",
+) -> Biochip:
+    """A square-electrode chip (first-generation design, Figure 11).
+
+    ``spare_predicate`` selects spare coordinates; by default there are none,
+    matching the fabricated chip in which "only cells used for the bioassays
+    were fabricated; no spare cells were included".
+    """
+    region = SquareRegion(cols, rows)
+    cells = [
+        Cell(
+            s,
+            CellRole.SPARE
+            if spare_predicate is not None and spare_predicate(s)
+            else CellRole.PRIMARY,
+        )
+        for s in region
+    ]
+    return Biochip(cells, name=name)

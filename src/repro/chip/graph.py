@@ -1,0 +1,56 @@
+"""Graph views of a biochip.
+
+The paper models arrays as graphs twice: the design figures (Figures 3-6)
+draw the primary/spare adjacency graph, and the reconfiguration check builds
+a bipartite graph between faulty primaries and adjacent fault-free spares
+(Figure 8).  This module provides the generic adjacency-graph export; the
+bipartite construction lives with the matching code in
+:mod:`repro.reconfig.bipartite`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.chip.biochip import Biochip
+
+__all__ = ["adjacency_lists", "spare_adjacency", "to_networkx"]
+
+
+def adjacency_lists(chip: Biochip) -> Dict[Hashable, Tuple[Hashable, ...]]:
+    """Coordinate → tuple of adjacent coordinates, for the whole array."""
+    return {coord: chip.neighbors(coord) for coord in chip.coords}
+
+
+def spare_adjacency(chip: Biochip) -> Dict[Hashable, Tuple[Hashable, ...]]:
+    """Primary coordinate → adjacent spare coordinates.
+
+    This is the static structure the repair engine works over; it depends
+    only on the architecture, not on the fault map, so callers that run many
+    Monte-Carlo trials compute it once.
+    """
+    return {
+        cell.coord: tuple(s.coord for s in chip.adjacent_spares(cell.coord))
+        for cell in chip.primaries()
+    }
+
+
+def to_networkx(chip: Biochip):
+    """Export the adjacency graph as a ``networkx.Graph``.
+
+    Node attributes carry ``role``, ``health`` and ``label``.  ``networkx``
+    is an optional dependency used only by tests and notebooks; importing it
+    lazily keeps the core library dependency-light.
+    """
+    import networkx as nx
+
+    graph = nx.Graph(name=chip.name)
+    for cell in chip:
+        graph.add_node(
+            cell.coord,
+            role=cell.role.value,
+            health=cell.health.value,
+            label=cell.label,
+        )
+    graph.add_edges_from(chip.edges())
+    return graph

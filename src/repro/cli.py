@@ -1,0 +1,255 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+::
+
+    python -m repro table1
+    python -m repro fig9 --runs 2000 --csv fig9.csv
+    python -m repro fig13 --chart
+    python -m repro all --runs 2000
+    python -m repro gallery --out designs.html
+    python -m repro recommend --target-yield 0.95 --p 0.95 --n 100
+
+Every experiment honors ``--runs`` (Monte-Carlo budget; paper default
+10 000) and ``--seed``.  ``--csv`` exports the underlying series where the
+driver produces tabular data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    ablation_defects,
+    ablation_matching,
+    design_targeting,
+    fig2,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    figs3to6,
+    table1,
+)
+from repro.viz.export import write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def _emit(text: str) -> None:
+    print(text)
+
+
+# --- per-experiment handlers -------------------------------------------------
+
+def _run_table1(args: argparse.Namespace) -> None:
+    result = table1.run()
+    _emit(result.format_report())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_fig2(args: argparse.Namespace) -> None:
+    result = fig2.run()
+    _emit(result.format_report())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_figs3to6(args: argparse.Namespace) -> None:
+    result = figs3to6.run()
+    _emit(result.format_report(with_layouts=args.chart))
+
+
+def _run_fig7(args: argparse.Namespace) -> None:
+    result = fig7.run(montecarlo_runs=args.runs if args.mc_check else 0)
+    _emit(result.format_report())
+    if args.chart:
+        _emit("")
+        _emit(result.format_chart())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_fig9(args: argparse.Namespace) -> None:
+    result = fig9.run(runs=args.runs, seed=args.seed)
+    _emit(result.format_report())
+    if args.chart:
+        for n in sorted({pt.n for pt in result.points}):
+            _emit("")
+            _emit(result.format_chart(n))
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_fig10(args: argparse.Namespace) -> None:
+    result = fig10.run(runs=args.runs, seed=args.seed)
+    _emit(result.format_report())
+    _emit("")
+    _emit(f"crossovers: {result.crossovers()}")
+    if args.chart:
+        _emit("")
+        _emit(result.format_chart())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_fig11(args: argparse.Namespace) -> None:
+    result = fig11.run()
+    _emit(result.format_report())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_fig12(args: argparse.Namespace) -> None:
+    result = fig12.run(seed=args.seed)
+    _emit(result.format_report())
+
+
+def _run_fig13(args: argparse.Namespace) -> None:
+    result = fig13.run(runs=args.runs, seed=args.seed)
+    _emit(result.format_report())
+    if args.chart:
+        _emit("")
+        _emit(result.format_chart())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+def _run_ablation_matching(args: argparse.Namespace) -> None:
+    result = ablation_matching.run(trials=max(100, args.runs // 5), seed=args.seed)
+    _emit(result.format_report())
+
+
+def _run_ablation_defects(args: argparse.Namespace) -> None:
+    result = ablation_defects.run(trials=max(100, args.runs // 10), seed=args.seed)
+    _emit(result.format_report())
+
+
+def _run_targeting(args: argparse.Namespace) -> None:
+    result = design_targeting.run(runs=max(500, args.runs // 3), seed=args.seed)
+    _emit(result.format_report())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        _emit(f"wrote {args.csv}")
+
+
+_EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "figs3to6": _run_figs3to6,
+    "fig7": _run_fig7,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "ablation-matching": _run_ablation_matching,
+    "ablation-defects": _run_ablation_defects,
+    "targeting": _run_targeting,
+}
+
+
+def _run_all(args: argparse.Namespace) -> None:
+    for name, handler in _EXPERIMENTS.items():
+        _emit(f"\n=== {name} ===")
+        # `all` never writes CSV per experiment (paths would collide).
+        sub_args = argparse.Namespace(**vars(args))
+        sub_args.csv = None
+        handler(sub_args)
+
+
+def _run_gallery(args: argparse.Namespace) -> None:
+    from repro.viz.gallery import write_gallery
+
+    write_gallery(args.out, size=args.size)
+    _emit(f"wrote {args.out}")
+
+
+def _run_recommend(args: argparse.Namespace) -> None:
+    from repro.designs.selector import recommend_design
+
+    result = recommend_design(
+        target_yield=args.target_yield,
+        p=args.p,
+        n=args.n,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    _emit(result.format_report())
+
+
+# --- parser ---------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce Su/Chakrabarty/Pamula (DATE 2005): yield enhancement "
+            "of digital microfluidic biochips via interstitial redundancy."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--runs", type=int, default=10_000,
+            help="Monte-Carlo runs per point (paper default: 10000)",
+        )
+        p.add_argument("--seed", type=int, default=2005, help="RNG seed")
+        p.add_argument(
+            "--csv", type=str, default=None, help="export rows to a CSV file"
+        )
+        p.add_argument(
+            "--chart", action="store_true", help="print ASCII charts too"
+        )
+        p.add_argument(
+            "--mc-check", action="store_true",
+            help="(fig7) add the Monte-Carlo validation column",
+        )
+
+    for name in list(_EXPERIMENTS) + ["all"]:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        common(p)
+        p.set_defaults(
+            handler=_EXPERIMENTS.get(name, _run_all)
+        )
+
+    gallery = sub.add_parser("gallery", help="write the HTML design gallery")
+    gallery.add_argument("--out", default="designs.html")
+    gallery.add_argument("--size", type=int, default=12)
+    gallery.set_defaults(handler=_run_gallery)
+
+    recommend = sub.add_parser(
+        "recommend", help="pick the cheapest design for a target yield"
+    )
+    recommend.add_argument("--target-yield", type=float, required=True)
+    recommend.add_argument("--p", type=float, required=True)
+    recommend.add_argument("--n", type=int, default=100)
+    recommend.add_argument("--runs", type=int, default=4000)
+    recommend.add_argument("--seed", type=int, default=2005)
+    recommend.set_defaults(handler=_run_recommend)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

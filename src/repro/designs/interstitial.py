@@ -1,0 +1,170 @@
+"""Construction of interstitial-redundancy arrays from design specs.
+
+Two builders are provided:
+
+* :func:`build_chip` — apply a design's spare lattice to a given region;
+* :func:`build_with_primary_count` — find a rectangular array (and lattice
+  coset) containing *exactly* ``n`` primary cells, which is how the paper
+  parameterizes its yield plots ("n is the number of primary cells").
+
+The coset search matters: sliding the spare pattern by a lattice translation
+changes how the pattern is clipped at the array boundary, and therefore the
+exact primary count for a fixed footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.chip.builders import chip_from_lattice
+from repro.designs.spec import DesignSpec
+from repro.errors import DesignError
+from repro.geometry.hex import Hex
+from repro.geometry.hexgrid import HexRegion, RectRegion
+
+__all__ = [
+    "build_chip",
+    "build_with_primary_count",
+    "build_flower_chip",
+    "FitResult",
+]
+
+
+def _coset_period(spec: DesignSpec) -> int:
+    """A translation period of the design's spare lattice (both axes)."""
+    lattice = spec.spare_lattice
+    if hasattr(lattice, "m"):
+        return lattice.m
+    # IntersectionLattice: the lcm of the component moduli is a period.
+    period = 1
+    for part in lattice.parts:
+        g = period * part.m
+        # lcm via gcd
+        a, b = period, part.m
+        while b:
+            a, b = b, a % b
+        period = g // a
+    return period
+
+
+def build_chip(
+    spec: DesignSpec,
+    region: HexRegion,
+    offset: Hex = Hex(0, 0),
+    name: Optional[str] = None,
+) -> Biochip:
+    """Build a chip for ``spec`` on ``region``.
+
+    ``offset`` shifts the spare pattern (selects a coset); the architecture's
+    (s, p) properties are translation-invariant, so any coset is a valid
+    instance of the design.
+    """
+    lattice = spec.spare_lattice.translated(offset)
+    return chip_from_lattice(region, lattice, name=name or spec.name)
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of the :func:`build_with_primary_count` search."""
+
+    spec: DesignSpec
+    cols: int
+    rows: int
+    offset: Hex
+    primary_count: int
+    spare_count: int
+
+    def build(self, name: Optional[str] = None) -> Biochip:
+        """Construct the chip this fit describes."""
+        return build_chip(
+            self.spec,
+            RectRegion(self.cols, self.rows),
+            self.offset,
+            name=name or f"{self.spec.name} n={self.primary_count}",
+        )
+
+
+def _candidate_shapes(total_cells_target: float, max_dim: int) -> Iterator[Tuple[int, int]]:
+    """Rectangle shapes ordered by squareness, near the target cell count."""
+    shapes: List[Tuple[float, int, int]] = []
+    for cols in range(2, max_dim + 1):
+        for rows in range(2, max_dim + 1):
+            total = cols * rows
+            # Keep shapes whose footprint could plausibly hold the target
+            # primary count: within a generous band around the ideal size.
+            if total < total_cells_target * 0.9 or total > total_cells_target * 1.6:
+                continue
+            squareness = abs(cols - rows)
+            shapes.append((squareness, cols, rows))
+    shapes.sort()
+    for _, cols, rows in shapes:
+        yield (cols, rows)
+
+
+def build_with_primary_count(
+    spec: DesignSpec,
+    n: int,
+    max_dim: int = 64,
+) -> FitResult:
+    """Find a rectangular instance of ``spec`` with exactly ``n`` primaries.
+
+    Searches rectangle shapes (most square first) and all lattice cosets;
+    deterministic, so repeated calls return the same layout.  Raises
+    :class:`DesignError` if no footprint up to ``max_dim`` per side fits.
+    """
+    if n < 1:
+        raise DesignError(f"primary count must be >= 1, got {n}")
+    density = float(spec.primary_density)
+    target_cells = n / density
+    period = _coset_period(spec)
+    for cols, rows in _candidate_shapes(target_cells, max_dim):
+        region = RectRegion(cols, rows)
+        for dq in range(period):
+            for dr in range(period):
+                offset = Hex(dq, dr)
+                lattice = spec.spare_lattice.translated(offset)
+                spares = sum(1 for h in region if h in lattice)
+                primaries = len(region) - spares
+                if primaries == n and spares > 0:
+                    return FitResult(spec, cols, rows, offset, primaries, spares)
+    raise DesignError(
+        f"no {spec.name} rectangle up to {max_dim}x{max_dim} has exactly "
+        f"{n} primary cells"
+    )
+
+
+def build_flower_chip(n: int, name: Optional[str] = None) -> Biochip:
+    """A DTMB(1,6) array made of exactly ``n / 6`` *complete* flowers.
+
+    The paper's analytical model views DTMB(1,6) as independent 7-cell
+    clusters ("flowers": one spare and its six primaries).  Rectangular
+    footprints clip flowers at the boundary, stranding some primaries with
+    no spare; this builder instead assembles whole flowers — the spare
+    centers nearest the origin on the DTMB(1,6) superlattice — so the
+    cluster model is *exact* and Monte-Carlo can validate it directly.
+
+    ``n`` must be a positive multiple of 6.
+    """
+    if n < 6 or n % 6 != 0:
+        raise DesignError(
+            f"flower chip needs a positive multiple of 6 primaries, got {n}"
+        )
+    from repro.chip.cell import Cell, CellRole
+    from repro.designs.catalog import DTMB_1_6
+    from repro.geometry.hex import hex_spiral
+
+    lattice = DTMB_1_6.spare_lattice
+    flowers = n // 6
+    centers: List[Hex] = []
+    radius = 4
+    while len(centers) < flowers:
+        centers = [h for h in hex_spiral(Hex(0, 0), radius) if h in lattice]
+        radius += 2
+    centers = centers[:flowers]
+    cells: List[Cell] = []
+    for center in centers:
+        cells.append(Cell(center, CellRole.SPARE))
+        cells.extend(Cell(nb, CellRole.PRIMARY) for nb in center.neighbors())
+    return Biochip(cells, name=name or f"DTMB(1,6) flowers n={n}")

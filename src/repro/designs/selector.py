@@ -1,0 +1,144 @@
+"""Design selection: pick a redundancy level for a target yield.
+
+Section 1 of the paper: "Microfluidic biochips with different levels of
+redundancy can be designed to target given yield levels and manufacturing
+processes."  This module operationalizes that sentence: given the process
+quality (per-cell survival probability p), the required primary-cell count
+n, and a target yield, it recommends the *cheapest* catalog design (lowest
+redundancy ratio ⇒ smallest area) that clears the target, and can also
+invert the question — what process quality does a given design need?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.designs.catalog import TABLE1_DESIGNS
+from repro.designs.interstitial import build_with_primary_count
+from repro.designs.spec import DesignSpec
+from repro.errors import DesignError, SimulationError
+from repro.yieldsim.montecarlo import YieldSimulator
+from repro.yieldsim.stats import YieldEstimate
+
+__all__ = ["DesignRecommendation", "recommend_design", "required_survival_probability"]
+
+
+@dataclass(frozen=True)
+class DesignRecommendation:
+    """Outcome of a design-selection query.
+
+    ``candidates`` holds every evaluated design with its estimated yield,
+    cheapest first, so callers can inspect the trade-off the selector made.
+    """
+
+    target_yield: float
+    p: float
+    n: int
+    chosen: Optional[DesignSpec]
+    candidates: Tuple[Tuple[str, YieldEstimate], ...]
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+    def format_report(self) -> str:
+        lines = [
+            f"target yield {self.target_yield:.3f} at p={self.p:.3f}, "
+            f"n={self.n} primary cells"
+        ]
+        for name, estimate in self.candidates:
+            lines.append(f"  {name:<12} Y = {estimate}")
+        if self.chosen is not None:
+            lines.append(
+                f"recommended: {self.chosen.name} "
+                f"(RR = {float(self.chosen.redundancy_ratio):.4f})"
+            )
+        else:
+            lines.append(
+                "no catalog design reaches the target at this process quality"
+            )
+        return "\n".join(lines)
+
+
+def recommend_design(
+    target_yield: float,
+    p: float,
+    n: int = 100,
+    designs: Sequence[DesignSpec] = TABLE1_DESIGNS,
+    runs: int = 4000,
+    seed: int = 2005,
+    confident: bool = True,
+) -> DesignRecommendation:
+    """The cheapest design whose estimated yield clears ``target_yield``.
+
+    Designs are tried in increasing redundancy-ratio order; evaluation is
+    Monte-Carlo on an exact-n instance of each design.  With
+    ``confident=True`` (default) a design qualifies only if the *lower*
+     95% confidence bound clears the target — the conservative call a
+    manufacturer would make; otherwise the point estimate is used.
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise SimulationError(
+            f"target yield must be in (0, 1], got {target_yield}"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"survival probability must be in [0, 1], got {p}")
+    if not designs:
+        raise DesignError("no candidate designs supplied")
+    ordered = sorted(designs, key=lambda d: d.redundancy_ratio)
+    candidates: List[Tuple[str, YieldEstimate]] = []
+    chosen: Optional[DesignSpec] = None
+    for i, spec in enumerate(ordered):
+        chip = build_with_primary_count(spec, n).build()
+        estimate = YieldSimulator(chip).run_survival(
+            p, runs=runs, seed=seed + i
+        )
+        candidates.append((spec.name, estimate))
+        score = estimate.lo if confident else estimate.value
+        if chosen is None and score >= target_yield:
+            chosen = spec
+    return DesignRecommendation(
+        target_yield=target_yield,
+        p=p,
+        n=n,
+        chosen=chosen,
+        candidates=tuple(candidates),
+    )
+
+
+def required_survival_probability(
+    spec: DesignSpec,
+    target_yield: float,
+    n: int = 100,
+    runs: int = 3000,
+    seed: int = 2005,
+    tolerance: float = 0.002,
+) -> float:
+    """The minimum per-cell survival probability for a design to hit a yield.
+
+    Answers the manufacturing-process question: "how good do my cells have
+    to be for DTMB(s, p) to yield at least Y?"  Found by bisection on p
+    (yield is monotone in p); the returned value is accurate to
+    ``tolerance`` in p, subject to Monte-Carlo noise at the given budget.
+    """
+    if not 0.0 < target_yield < 1.0:
+        raise SimulationError(
+            f"target yield must be in (0, 1), got {target_yield}"
+        )
+    chip = build_with_primary_count(spec, n).build()
+    sim = YieldSimulator(chip)
+
+    def estimate(p: float) -> float:
+        return sim.run_survival(p, runs=runs, seed=seed).value
+
+    lo, hi = 0.5, 1.0
+    if estimate(lo) >= target_yield:
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if estimate(mid) >= target_yield:
+            hi = mid
+        else:
+            lo = mid
+    return hi

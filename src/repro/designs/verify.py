@@ -1,0 +1,112 @@
+"""Empirical verification of DTMB(s, p) structural properties.
+
+Definition 1 is a statement about *non-boundary* cells: each non-boundary
+primary must be adjacent to exactly ``s`` spares, and each interior spare to
+exactly ``p`` primaries.  These checks run on concrete finite arrays, so the
+test suite can confirm every catalog congruence realizes its advertised
+architecture, and users can validate hand-built layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.designs.spec import DesignSpec
+from repro.errors import DesignError
+
+__all__ = ["StructureReport", "inspect_structure", "verify_design"]
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """Observed adjacency statistics of a (possibly irregular) array.
+
+    ``interior_*`` histograms count only cells with a full 6-neighborhood,
+    which is where Definition 1 applies; boundary cells are reported
+    separately so layout debugging can see the clipping effects.
+    """
+
+    interior_primary_spare_degrees: Dict[int, int]
+    interior_spare_primary_degrees: Dict[int, int]
+    boundary_primary_spare_degrees: Dict[int, int]
+    boundary_spare_primary_degrees: Dict[int, int]
+    primary_count: int
+    spare_count: int
+
+    @property
+    def redundancy_ratio(self) -> float:
+        return self.spare_count / self.primary_count
+
+    def uniform_s(self) -> int:
+        """The unique spare-degree of interior primaries, if uniform."""
+        degrees = sorted(self.interior_primary_spare_degrees)
+        if len(degrees) != 1:
+            raise DesignError(
+                f"interior primaries have mixed spare-degrees: "
+                f"{self.interior_primary_spare_degrees}"
+            )
+        return degrees[0]
+
+    def uniform_p(self) -> int:
+        """The unique primary-degree of interior spares, if uniform."""
+        degrees = sorted(self.interior_spare_primary_degrees)
+        if len(degrees) != 1:
+            raise DesignError(
+                f"interior spares have mixed primary-degrees: "
+                f"{self.interior_spare_primary_degrees}"
+            )
+        return degrees[0]
+
+
+def inspect_structure(chip: Biochip, full_degree: int = 6) -> StructureReport:
+    """Measure the primary/spare adjacency structure of ``chip``."""
+    interior_ps: Dict[int, int] = {}
+    interior_sp: Dict[int, int] = {}
+    boundary_ps: Dict[int, int] = {}
+    boundary_sp: Dict[int, int] = {}
+    for cell in chip:
+        interior = chip.degree(cell.coord) == full_degree
+        if cell.is_primary:
+            degree = len(chip.adjacent_spares(cell.coord))
+            bucket = interior_ps if interior else boundary_ps
+        else:
+            degree = len(chip.adjacent_primaries(cell.coord))
+            bucket = interior_sp if interior else boundary_sp
+        bucket[degree] = bucket.get(degree, 0) + 1
+    return StructureReport(
+        interior_primary_spare_degrees=interior_ps,
+        interior_spare_primary_degrees=interior_sp,
+        boundary_primary_spare_degrees=boundary_ps,
+        boundary_spare_primary_degrees=boundary_sp,
+        primary_count=chip.primary_count,
+        spare_count=chip.spare_count,
+    )
+
+
+def verify_design(spec: DesignSpec, chip: Biochip) -> StructureReport:
+    """Check that ``chip`` realizes ``spec``'s DTMB(s, p) structure.
+
+    Raises :class:`DesignError` with a diagnostic message on any violation;
+    returns the measured :class:`StructureReport` on success.  The array
+    must be large enough to contain interior cells of both roles.
+    """
+    report = inspect_structure(chip)
+    if not report.interior_primary_spare_degrees:
+        raise DesignError(
+            f"{spec.name}: array too small — no interior primary cells"
+        )
+    if not report.interior_spare_primary_degrees:
+        raise DesignError(f"{spec.name}: array too small — no interior spare cells")
+    s = report.uniform_s()
+    p = report.uniform_p()
+    if s != spec.s:
+        raise DesignError(
+            f"{spec.name}: interior primaries see {s} spares, expected {spec.s}"
+        )
+    if p != spec.p:
+        raise DesignError(
+            f"{spec.name}: interior spares see {p} primaries, expected {spec.p}"
+        )
+    return report

@@ -1,0 +1,31 @@
+"""Design-for-test substrate: droplet-based testing and diagnosis.
+
+Implements the unified test methodology the paper relies on (its refs
+[10, 11]): stimuli-droplet traversals for go/no-go testing
+(:mod:`repro.dft.testing`), Hamiltonian traversal planning
+(:mod:`repro.dft.traversal`), adaptive binary-search fault location
+(:mod:`repro.dft.diagnosis`) and multi-droplet concurrent testing
+(:mod:`repro.dft.concurrent`).  Diagnosis output feeds directly into
+:func:`repro.reconfig.plan_local_repair`.
+"""
+
+from repro.dft.concurrent import ConcurrentTestResult, concurrent_test
+from repro.dft.diagnosis import DiagnosisReport, diagnose
+from repro.dft.maintenance import MaintenanceReport, maintain
+from repro.dft.testing import TestOutcome, run_route, test_chip
+from repro.dft.traversal import partial_plans, snake_plan, validate_plan
+
+__all__ = [
+    "snake_plan",
+    "validate_plan",
+    "partial_plans",
+    "TestOutcome",
+    "run_route",
+    "test_chip",
+    "DiagnosisReport",
+    "diagnose",
+    "ConcurrentTestResult",
+    "concurrent_test",
+    "MaintenanceReport",
+    "maintain",
+]

@@ -1,0 +1,127 @@
+"""Adaptive fault diagnosis: locate faulty cells with few test droplets.
+
+A go/no-go traversal only says *whether* the array is damaged.  To apply
+local reconfiguration we must know *which* cells are faulty.  The adaptive
+procedure here mirrors the droplet-based diagnosis of the papers this work
+builds on: every probe dispatches a stimuli droplet along a chosen route and
+observes a single bit (arrival at the route's end, via capacitive sensing).
+
+Strategy: walk the traversal plan; when a segment fails, binary-search the
+failing prefix to pin the first faulty cell (log-many probes), then detour
+around all known faults to the rest of the plan and continue.  The
+simulation charges every probe its droplet moves, so experiments can report
+diagnosis cost in probes *and* moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.dft.testing import run_route
+from repro.errors import RoutingError, TestPlanError
+from repro.fluidics.routing import Router
+
+__all__ = ["DiagnosisReport", "diagnose"]
+
+
+@dataclass
+class DiagnosisReport:
+    """Outcome of an adaptive diagnosis session.
+
+    ``located`` are the faulty cells found; ``certified_good`` the cells
+    proven fault-free by some passing probe; ``complete`` is True when
+    every plan cell ended up in one of the two sets.  ``probes`` counts
+    droplet dispatches and ``moves`` the total droplet steps spent.
+    """
+
+    located: List[Hashable] = field(default_factory=list)
+    certified_good: Set[Hashable] = field(default_factory=set)
+    unreachable: List[Hashable] = field(default_factory=list)
+    probes: int = 0
+    moves: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.unreachable
+
+
+def _probe(
+    chip: Biochip, route: Sequence[Hashable], report: DiagnosisReport
+) -> bool:
+    """Dispatch one stimuli droplet; returns the arrival observation."""
+    outcome = run_route(chip, route)
+    report.probes += 1
+    report.moves += outcome.cells_traversed
+    if outcome.passed:
+        report.certified_good.update(route)
+    return outcome.passed
+
+
+def diagnose(chip: Biochip, plan: Sequence[Hashable]) -> DiagnosisReport:
+    """Locate all faulty cells on ``plan`` using adaptive probing.
+
+    ``plan`` must be a connected traversal (consecutive cells adjacent);
+    the droplet source is ``plan[0]`` and is assumed good — a faulty
+    dispense port is detected before array testing begins and the port
+    itself is not repairable by cell-level reconfiguration.
+    """
+    if not plan:
+        raise TestPlanError("empty diagnosis plan")
+    if chip[plan[0]].is_faulty:
+        raise TestPlanError(
+            f"dispense port {plan[0]} is faulty; diagnosis assumes a good source"
+        )
+    report = DiagnosisReport()
+    # The planning chip knows only the faults diagnosis has proven so far —
+    # routing never peeks at ground-truth health.
+    planning_chip = chip.copy(name=f"{chip.name}/diagnosis-view")
+    planning_chip.clear_faults()
+    source = plan[0]
+    pending: List[Hashable] = list(plan)
+
+    while pending:
+        target_start = pending[0]
+        # Reach the segment start from the source, detouring around the
+        # faults located so far.
+        try:
+            approach = Router(planning_chip).route(source, target_start)
+        except RoutingError:
+            report.unreachable.extend(
+                c for c in pending if c not in report.certified_good
+            )
+            break
+        # Extend the approach with as much of the pending segment as stays
+        # adjacent (the segment is a snake, so all of it).
+        segment = [target_start]
+        for cell in pending[1:]:
+            if cell in chip.neighbors(segment[-1]):
+                segment.append(cell)
+            else:
+                break
+        route = list(approach) + segment[1:]
+        if _probe(chip, route, report):
+            done = set(segment)
+            pending = [c for c in pending if c not in done]
+            continue
+        # Failure somewhere on approach + segment: binary-search the first
+        # faulty cell by probing prefixes.
+        lo, hi = 1, len(route) - 1  # route[0] == source is good
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _probe(chip, route[: mid + 1], report):
+                lo = mid + 1
+            else:
+                hi = mid
+        faulty = route[lo]
+        report.located.append(faulty)
+        planning_chip.mark_faulty(faulty)
+        report.certified_good.update(route[:lo])
+        done = report.certified_good | {faulty}
+        pending = [c for c in pending if c not in done]
+    # Cells we certified along detours may not have been in the plan;
+    # restrict the view to plan cells for the completeness check.
+    plan_set = set(plan)
+    report.certified_good &= plan_set | report.certified_good
+    return report

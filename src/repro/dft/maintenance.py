@@ -1,0 +1,131 @@
+"""The closed maintenance loop: test → diagnose → repair → certify.
+
+Ties the DFT and reconfiguration layers into the workflow a deployed chip
+(or a post-fab production tester) actually runs.  One call to
+:func:`maintain` takes a chip in an unknown health state and returns either
+a certified-good remap to operate through, or a verdict that the chip is
+scrap — with the full cost accounting (probes, droplet moves) the paper's
+cost arguments are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.dft.diagnosis import DiagnosisReport, diagnose
+from repro.dft.testing import test_chip
+from repro.dft.traversal import snake_plan, validate_plan
+from repro.errors import TestPlanError
+from repro.geometry.hexgrid import RectRegion
+from repro.reconfig.local import RepairPlan, plan_local_repair
+from repro.reconfig.remap import CellRemap
+
+__all__ = ["MaintenanceReport", "maintain"]
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Outcome of one maintenance cycle.
+
+    ``usable`` is the bottom line: True iff the chip passed outright or
+    every needed faulty primary was repaired.  When repair happened,
+    ``remap`` carries the logical→physical map the controller should run
+    through.  Cost fields cover the whole cycle.
+    """
+
+    tested_cells: int
+    faults_located: Tuple[Hashable, ...]
+    diagnosis: Optional[DiagnosisReport]
+    repair: Optional[RepairPlan]
+    remap: Optional[CellRemap]
+    probes: int
+    droplet_moves: int
+
+    @property
+    def usable(self) -> bool:
+        if self.repair is None:
+            return not self.faults_located
+        return self.repair.complete
+
+    def format_report(self) -> str:
+        lines = [
+            f"tested {self.tested_cells} cells with {self.probes} probe(s), "
+            f"{self.droplet_moves} droplet moves",
+        ]
+        if not self.faults_located:
+            lines.append("no catastrophic faults detected; chip certified good")
+        else:
+            lines.append(
+                f"located {len(self.faults_located)} faulty cell(s): "
+                + ", ".join(str(c) for c in self.faults_located)
+            )
+            if self.repair is not None and self.repair.complete:
+                lines.append(
+                    f"repaired via {self.repair.spares_used} spare(s); "
+                    "chip usable through remap"
+                )
+            else:
+                unrepaired = (
+                    len(self.repair.unrepaired) if self.repair else "all"
+                )
+                lines.append(f"IRREPARABLE: {unrepaired} cell(s) uncovered")
+        return "\n".join(lines)
+
+
+def maintain(
+    chip: Biochip,
+    plan: Optional[Sequence[Hashable]] = None,
+    region: Optional[RectRegion] = None,
+    needed: Optional[Iterable[Hashable]] = None,
+) -> MaintenanceReport:
+    """Run one full test/diagnose/repair cycle on ``chip``.
+
+    Parameters
+    ----------
+    plan:
+        Traversal covering every cell; if omitted, a snake plan is derived
+        from ``region`` (required in that case).
+    needed:
+        Primary cells that must work (defaults to all primaries) — the
+        repair is planned for exactly these.
+    """
+    if plan is None:
+        if region is None:
+            raise TestPlanError(
+                "provide either an explicit traversal plan or the chip's "
+                "rectangular region to derive one"
+            )
+        plan = snake_plan(region)
+    validate_plan(chip, plan)
+
+    # Phase 1: go/no-go traversal.
+    outcome = test_chip(chip, plan)
+    if outcome.passed:
+        return MaintenanceReport(
+            tested_cells=len(plan),
+            faults_located=(),
+            diagnosis=None,
+            repair=None,
+            remap=None,
+            probes=1,
+            droplet_moves=outcome.cells_traversed,
+        )
+
+    # Phase 2: adaptive diagnosis (re-drives the failing traversal, so the
+    # go/no-go probe is charged as part of the total too).
+    report = diagnose(chip, plan)
+
+    # Phase 3: repair what diagnosis found, for the cells that matter.
+    repair = plan_local_repair(chip, needed=needed)
+    remap = CellRemap(chip, repair) if repair.complete else None
+    return MaintenanceReport(
+        tested_cells=len(plan),
+        faults_located=tuple(sorted(report.located)),
+        diagnosis=report,
+        repair=repair,
+        remap=remap,
+        probes=1 + report.probes,
+        droplet_moves=outcome.cells_traversed + report.moves,
+    )

@@ -1,0 +1,77 @@
+"""Offline structural testing: run a stimuli droplet and observe arrival.
+
+The unified test methodology the paper builds on ([10, 11]) detects faults
+"by electrostatically controlling and tracking the droplet motion": a test
+droplet is driven along a planned route, and a capacitive sensing circuit
+at the sink (or under any electrode) reports whether the droplet actually
+arrived.  A catastrophic fault anywhere on the route stops the droplet, so
+arrival is a pass/fail observation for the whole route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.errors import TestPlanError
+
+__all__ = ["TestOutcome", "run_route", "test_chip"]
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """Result of driving one test droplet along one route.
+
+    ``passed`` is the capacitive arrival observation; when the droplet
+    stalls, ``stuck_at`` is the faulty cell that stopped it and
+    ``cells_traversed`` counts the moves that succeeded.  The tester does
+    *not* see ``stuck_at`` directly (that is what diagnosis is for) — it is
+    recorded for simulation introspection and oracle checking in tests.
+    """
+
+    route_length: int
+    passed: bool
+    cells_traversed: int
+    stuck_at: Optional[Hashable] = None
+
+
+def run_route(chip: Biochip, route: Sequence[Hashable]) -> TestOutcome:
+    """Simulate a test droplet driven along ``route``.
+
+    The droplet starts at ``route[0]`` (the dispense port, assumed good —
+    a dead port is detected trivially because nothing ever arrives
+    anywhere) and stops at the first faulty cell it is driven onto.
+    """
+    if not route:
+        raise TestPlanError("empty test route")
+    for a, b in zip(route, route[1:]):
+        if b not in chip.neighbors(a):
+            raise TestPlanError(f"route step {a} -> {b} is not an adjacency")
+    if chip[route[0]].is_faulty:
+        return TestOutcome(
+            route_length=len(route), passed=False, cells_traversed=0,
+            stuck_at=route[0],
+        )
+    traversed = 0
+    for cell in route[1:]:
+        if chip[cell].is_faulty:
+            return TestOutcome(
+                route_length=len(route),
+                passed=False,
+                cells_traversed=traversed,
+                stuck_at=cell,
+            )
+        traversed += 1
+    return TestOutcome(
+        route_length=len(route), passed=True, cells_traversed=traversed
+    )
+
+
+def test_chip(chip: Biochip, plan: Sequence[Hashable]) -> TestOutcome:
+    """Full-array go/no-go test with a single droplet traversal.
+
+    A pass certifies every cell on the plan (hence the whole chip, for a
+    complete plan) is free of catastrophic faults.
+    """
+    return run_route(chip, plan)

@@ -1,0 +1,84 @@
+"""Test-droplet traversal planning.
+
+"To test a biochip, stimuli droplets containing the normal conducting fluid
+(e.g., KCL solution) from the droplet source are transported through the
+array (traversing the cells) to detect the faulty cells."  A complete
+structural test therefore needs a walk that visits *every* cell.
+
+On the rectangular hex arrays used throughout the paper a boustrophedon
+("snake") walk is a Hamiltonian path: within a row, east/west neighbors are
+adjacent, and in odd-r offset layout the cell directly below (same column,
+next row) is always adjacent regardless of row parity.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence
+
+from repro.chip.biochip import Biochip
+from repro.errors import TestPlanError
+from repro.geometry.hexgrid import RectRegion, offset_to_axial
+
+__all__ = ["snake_plan", "validate_plan", "partial_plans"]
+
+
+def snake_plan(region: RectRegion) -> List[Hashable]:
+    """A Hamiltonian traversal of a rectangular hex array.
+
+    Rows are walked alternately left-to-right and right-to-left; the
+    transition to the next row is a single vertical step (adjacent in
+    odd-r layout).
+    """
+    path: List[Hashable] = []
+    for row in range(region.rows):
+        cols = range(region.cols) if row % 2 == 0 else range(region.cols - 1, -1, -1)
+        path.extend(offset_to_axial(col, row) for col in cols)
+    return path
+
+
+def validate_plan(chip: Biochip, plan: Sequence[Hashable]) -> None:
+    """Check a traversal plan is executable and complete on ``chip``.
+
+    * every planned cell exists on the chip;
+    * consecutive cells are physically adjacent (microfluidic locality);
+    * every chip cell is visited at least once.
+    """
+    if not plan:
+        raise TestPlanError("empty test plan")
+    for coord in plan:
+        if coord not in chip:
+            raise TestPlanError(f"plan visits {coord}, which is not on the chip")
+    for a, b in zip(plan, plan[1:]):
+        if b not in chip.neighbors(a):
+            raise TestPlanError(
+                f"plan steps from {a} to non-adjacent {b}; droplets only "
+                "move to physically adjacent cells"
+            )
+    missing = set(chip.coords) - set(plan)
+    if missing:
+        raise TestPlanError(
+            f"plan misses {len(missing)} cells (first: {sorted(missing)[:3]})"
+        )
+
+
+def partial_plans(plan: Sequence[Hashable], pieces: int) -> List[List[Hashable]]:
+    """Split a traversal into ``pieces`` contiguous sub-walks.
+
+    Used by concurrent testing: each sub-walk is assigned to its own test
+    droplet, cutting test time by roughly the piece count.  Consecutive
+    sub-walks overlap by one cell so coverage is preserved.
+    """
+    if pieces < 1:
+        raise TestPlanError(f"pieces must be >= 1, got {pieces}")
+    if pieces > len(plan):
+        raise TestPlanError(
+            f"cannot split a {len(plan)}-cell plan into {pieces} pieces"
+        )
+    size = len(plan) / pieces
+    out: List[List[Hashable]] = []
+    for i in range(pieces):
+        start = int(round(i * size))
+        end = int(round((i + 1) * size))
+        piece = list(plan[max(0, start - 1) if i else 0 : end])
+        out.append(piece)
+    return out

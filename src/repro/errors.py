@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Sub-classes are grouped by subsystem: geometry, chip
+construction, reconfiguration, fluidics and assay execution.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "ChipError",
+    "DesignError",
+    "FaultModelError",
+    "ReconfigurationError",
+    "IrreparableChipError",
+    "FluidicsError",
+    "IllegalMoveError",
+    "ConstraintViolationError",
+    "RoutingError",
+    "SchedulingError",
+    "AssayError",
+    "TestPlanError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """Invalid coordinate, region or lattice operation."""
+
+
+class ChipError(ReproError):
+    """Invalid biochip construction or query (unknown cell, bad role...)."""
+
+
+class DesignError(ChipError):
+    """A redundancy architecture was requested or verified incorrectly."""
+
+
+class FaultModelError(ReproError):
+    """Invalid fault specification or injection parameters."""
+
+
+class ReconfigurationError(ReproError):
+    """A reconfiguration plan could not be built or validated."""
+
+
+class IrreparableChipError(ReconfigurationError):
+    """The fault map cannot be tolerated by local reconfiguration.
+
+    Raised by APIs that *require* a full repair; estimation APIs instead
+    report failures as part of their statistics.
+    """
+
+
+class FluidicsError(ReproError):
+    """Base class for droplet-level simulation errors."""
+
+
+class IllegalMoveError(FluidicsError):
+    """A droplet was asked to move to a non-adjacent or unusable cell."""
+
+
+class ConstraintViolationError(FluidicsError):
+    """A microfluidic (static/dynamic) spacing constraint was violated."""
+
+
+class RoutingError(FluidicsError):
+    """No route exists between the requested cells."""
+
+
+class SchedulingError(FluidicsError):
+    """An assay operation graph could not be scheduled."""
+
+
+class AssayError(ReproError):
+    """A bioassay could not be completed on the given chip."""
+
+
+class TestPlanError(ReproError):
+    """A design-for-test plan could not be generated."""
+
+
+class SimulationError(ReproError):
+    """Monte-Carlo or kinetics simulation was configured incorrectly."""

@@ -1,0 +1,98 @@
+"""Figure 7: analytical yield of DTMB(1,6) vs the non-redundant baseline.
+
+``Y = (p^7 + 7 p^6 (1-p))^(n/6)`` against ``Y = p^n`` for several array
+sizes over the high-survival regime.  A Monte-Carlo cross-check column
+validates the cluster approximation on a real finite array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.designs.interstitial import build_flower_chip
+from repro.experiments.report import format_table
+from repro.viz.plot import ascii_chart
+from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
+from repro.yieldsim.montecarlo import YieldSimulator
+from repro.yieldsim.sweeps import DEFAULT_P_GRID
+
+__all__ = ["Fig7Result", "run"]
+
+DEFAULT_NS: Tuple[int, ...] = (60, 120, 240, 480)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Analytical curves plus an optional Monte-Carlo check series."""
+
+    ns: Tuple[int, ...]
+    ps: Tuple[float, ...]
+    series: Dict[str, List[Tuple[float, float]]]
+    montecarlo_check: Dict[float, float]
+
+    @property
+    def headers(self) -> List[str]:
+        cols = ["p"]
+        for n in self.ns:
+            cols.append(f"DTMB(1,6) n={n}")
+            cols.append(f"no spares n={n}")
+        if self.montecarlo_check:
+            cols.append(f"MC check n={self.ns[0]}")
+        return cols
+
+    @property
+    def rows(self) -> List[Tuple[object, ...]]:
+        out = []
+        for p in self.ps:
+            row: List[object] = [f"{p:.2f}"]
+            for n in self.ns:
+                row.append(f"{dtmb16_yield(p, n):.4f}")
+                row.append(f"{yield_no_redundancy(p, n):.4f}")
+            if self.montecarlo_check:
+                row.append(f"{self.montecarlo_check[p]:.4f}")
+            out.append(tuple(row))
+        return out
+
+    def format_report(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def format_chart(self) -> str:
+        return ascii_chart(
+            self.series,
+            title="Figure 7: DTMB(1,6) analytical yield vs no redundancy",
+            y_label="yield",
+            x_label="cell survival probability p",
+        )
+
+
+def run(
+    ns: Sequence[int] = DEFAULT_NS,
+    ps: Sequence[float] = DEFAULT_P_GRID,
+    montecarlo_runs: int = 0,
+    seed: int = 2005,
+) -> Fig7Result:
+    """Analytical Figure 7; set ``montecarlo_runs`` > 0 to cross-check.
+
+    The Monte-Carlo column simulates a flower-complete DTMB(1,6) array
+    (every primary owns its spare, as the cluster model assumes) with the
+    smallest requested n; the analytical curve should match it within
+    Monte-Carlo noise.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for n in ns:
+        series[f"DTMB(1,6) n={n}"] = [(p, dtmb16_yield(p, n)) for p in ps]
+        series[f"no spares n={n}"] = [
+            (p, yield_no_redundancy(p, n)) for p in ps
+        ]
+    check: Dict[float, float] = {}
+    if montecarlo_runs > 0:
+        chip = build_flower_chip(ns[0])
+        sim = YieldSimulator(chip)
+        for i, p in enumerate(ps):
+            check[p] = sim.run_survival(
+                p, runs=montecarlo_runs, seed=seed + i
+            ).value
+    return Fig7Result(
+        ns=tuple(ns), ps=tuple(ps), series=series, montecarlo_check=check
+    )

@@ -1,0 +1,162 @@
+"""Parametric-fault model: geometrical parameter deviations vs tolerance.
+
+Section 4: "Manufacturing defects that cause parametric faults include
+geometrical parameter deviations.  The deviation in insulator thickness,
+electrode length and height between parallel plates may exceed their
+tolerance value during fabrication."  A parametric fault is detectable only
+if the deviation exceeds the system performance tolerance — and only then
+does reconfiguration treat the cell as faulty.
+
+This module samples per-cell parameter values around the nominal geometry of
+the Duke electrowetting chips (Parylene C insulator ~800 nm, Teflon AF 1600
+coating ~50 nm per Figure 1) and converts out-of-tolerance cells into
+:class:`~repro.faults.model.Fault` records, so the yield experiments can mix
+catastrophic and parametric populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.chip.biochip import Biochip
+from repro.errors import FaultModelError
+from repro.faults.injection import RngLike, make_rng
+from repro.faults.model import Fault, FaultKind, FaultMap
+
+__all__ = [
+    "GeometricParameter",
+    "PARYLENE_THICKNESS",
+    "TEFLON_THICKNESS",
+    "ELECTRODE_LENGTH",
+    "PLATE_GAP",
+    "DEFAULT_PROCESS",
+    "ParametricProcess",
+]
+
+
+@dataclass(frozen=True)
+class GeometricParameter:
+    """One manufactured geometric parameter with its process statistics.
+
+    Parameters
+    ----------
+    name:
+        Human-readable parameter name.
+    kind:
+        The :class:`FaultKind` attributed when this parameter is out of
+        tolerance.
+    nominal:
+        Design value (meters).
+    sigma:
+        Standard deviation of the fabrication process (meters).
+    tolerance:
+        Maximum |deviation| from nominal (meters) the system tolerates.
+    """
+
+    name: str
+    kind: FaultKind
+    nominal: float
+    sigma: float
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.nominal <= 0:
+            raise FaultModelError(f"{self.name}: nominal must be > 0")
+        if self.sigma < 0:
+            raise FaultModelError(f"{self.name}: sigma must be >= 0")
+        if self.tolerance <= 0:
+            raise FaultModelError(f"{self.name}: tolerance must be > 0")
+
+    def out_of_tolerance_probability(self) -> float:
+        """P(|X - nominal| > tolerance) under the Gaussian process model."""
+        if self.sigma == 0:
+            return 0.0
+        from math import erf, sqrt
+
+        z = self.tolerance / self.sigma
+        return 1.0 - erf(z / sqrt(2.0))
+
+
+# Nominal geometry from the paper (Figure 1 caption) and the Duke chip
+# literature it cites; sigmas/tolerances are representative process values.
+PARYLENE_THICKNESS = GeometricParameter(
+    name="Parylene C insulator thickness",
+    kind=FaultKind.INSULATOR_THICKNESS,
+    nominal=800e-9,
+    sigma=25e-9,
+    tolerance=80e-9,
+)
+
+TEFLON_THICKNESS = GeometricParameter(
+    name="Teflon AF 1600 coating thickness",
+    kind=FaultKind.INSULATOR_THICKNESS,
+    nominal=50e-9,
+    sigma=4e-9,
+    tolerance=15e-9,
+)
+
+ELECTRODE_LENGTH = GeometricParameter(
+    name="electrode length",
+    kind=FaultKind.ELECTRODE_LENGTH,
+    nominal=1.5e-3,
+    sigma=8e-6,
+    tolerance=30e-6,
+)
+
+PLATE_GAP = GeometricParameter(
+    name="height between parallel plates",
+    kind=FaultKind.PLATE_GAP,
+    nominal=300e-6,
+    sigma=6e-6,
+    tolerance=20e-6,
+)
+
+
+class ParametricProcess:
+    """Samples per-cell geometry and reports out-of-tolerance cells."""
+
+    def __init__(self, parameters: Tuple[GeometricParameter, ...]):
+        if not parameters:
+            raise FaultModelError("a process needs at least one parameter")
+        self.parameters = parameters
+
+    def sample_values(
+        self, chip: Biochip, seed: RngLike = None
+    ) -> Dict[str, np.ndarray]:
+        """Parameter name → per-cell sampled values (chip coordinate order)."""
+        rng = make_rng(seed)
+        return {
+            param.name: rng.normal(param.nominal, param.sigma, size=len(chip))
+            for param in self.parameters
+        }
+
+    def sample_faults(self, chip: Biochip, seed: RngLike = None) -> FaultMap:
+        """Cells where any parameter exceeds tolerance, as a fault map."""
+        rng = make_rng(seed)
+        coords = chip.coords
+        fault_map = FaultMap()
+        for param in self.parameters:
+            values = rng.normal(param.nominal, param.sigma, size=len(coords))
+            bad = np.nonzero(np.abs(values - param.nominal) > param.tolerance)[0]
+            for i in bad:
+                deviation = float(
+                    (values[i] - param.nominal) / param.nominal
+                )
+                fault_map.add(Fault(coords[i], param.kind, deviation=deviation))
+        return fault_map
+
+    def cell_failure_probability(self) -> float:
+        """P(cell out of tolerance on >= 1 parameter), parameters independent."""
+        survive = 1.0
+        for param in self.parameters:
+            survive *= 1.0 - param.out_of_tolerance_probability()
+        return 1.0 - survive
+
+
+#: A representative process combining all four geometry parameters.
+DEFAULT_PROCESS = ParametricProcess(
+    (PARYLENE_THICKNESS, TEFLON_THICKNESS, ELECTRODE_LENGTH, PLATE_GAP)
+)

@@ -1,0 +1,53 @@
+"""Droplet-level fluidics: the executable substrate under the bioassays.
+
+* :mod:`repro.fluidics.droplet` — droplets with volumes and chemistry;
+* :mod:`repro.fluidics.electrowetting` — the paper's 0-90 V / 20 cm/s
+  actuation physics;
+* :mod:`repro.fluidics.controller` — the electrode microcontroller with
+  locality / health / occupancy / spacing constraints;
+* :mod:`repro.fluidics.routing` — fault-avoiding shortest-path routing,
+  repair-remap aware;
+* :mod:`repro.fluidics.operations` / :mod:`repro.fluidics.scheduler` — the
+  protocol instruction set and its sequential executor.
+"""
+
+from repro.fluidics.concurrent_routing import (
+    ConcurrentPlan,
+    ConcurrentRouter,
+    RouteRequest,
+)
+from repro.fluidics.controller import ElectrodeController
+from repro.fluidics.droplet import Droplet
+from repro.fluidics.electrowetting import DEFAULT_MODEL, ElectrowettingModel
+from repro.fluidics.operations import (
+    Detect,
+    Discard,
+    Dispense,
+    Mix,
+    Operation,
+    Split,
+    Transport,
+)
+from repro.fluidics.routing import Router
+from repro.fluidics.scheduler import Schedule, Scheduler, TimelineEvent
+
+__all__ = [
+    "Droplet",
+    "ElectrowettingModel",
+    "DEFAULT_MODEL",
+    "ElectrodeController",
+    "Router",
+    "Dispense",
+    "Transport",
+    "Mix",
+    "Split",
+    "Detect",
+    "Discard",
+    "Operation",
+    "Scheduler",
+    "Schedule",
+    "TimelineEvent",
+    "ConcurrentRouter",
+    "ConcurrentPlan",
+    "RouteRequest",
+]

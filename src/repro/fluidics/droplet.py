@@ -1,0 +1,96 @@
+"""Droplets: the unit of fluid a digital biochip manipulates.
+
+Nanoliter-volume droplets carry dissolved species (glucose, enzymes,
+reaction products) between electrodes.  Merging two droplets pools volumes
+and dilutes species accordingly; splitting divides both in half.  The assay
+chemistry operates on the species concentrations carried here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.errors import FluidicsError
+
+__all__ = ["Droplet"]
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Droplet:
+    """A droplet sitting on one (logical) cell of the array.
+
+    Parameters
+    ----------
+    position:
+        Logical coordinate of the cell currently holding the droplet.
+    volume:
+        Volume in liters; typical dispensed droplets are ~1 nL to 1 uL.
+    contents:
+        Species name → molar concentration (mol/L).
+    name:
+        Optional human-readable tag ("sample", "reagent"...).
+    """
+
+    position: Hashable
+    volume: float = 1e-9
+    contents: Dict[str, float] = field(default_factory=dict)
+    name: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if self.volume <= 0:
+            raise FluidicsError(f"droplet volume must be positive, got {self.volume}")
+        for species, conc in self.contents.items():
+            if conc < 0:
+                raise FluidicsError(
+                    f"negative concentration for {species!r}: {conc}"
+                )
+
+    def concentration(self, species: str) -> float:
+        """Molar concentration of ``species`` (0.0 if absent)."""
+        return self.contents.get(species, 0.0)
+
+    def moles(self, species: str) -> float:
+        return self.concentration(species) * self.volume
+
+    def merged_with(self, other: "Droplet", name: Optional[str] = None) -> "Droplet":
+        """The droplet resulting from coalescing ``self`` and ``other``.
+
+        Volumes add; each species' amount is conserved, so concentrations
+        dilute by the volume ratio.  The merged droplet sits at *this*
+        droplet's position (the electrode where coalescence completed).
+        """
+        total = self.volume + other.volume
+        species = set(self.contents) | set(other.contents)
+        contents = {
+            s: (self.moles(s) + other.moles(s)) / total for s in species
+        }
+        return Droplet(
+            position=self.position,
+            volume=total,
+            contents=contents,
+            name=name or self.name,
+        )
+
+    def split(self) -> Tuple["Droplet", "Droplet"]:
+        """Two half-volume daughters with identical concentrations.
+
+        Positions are set to this droplet's cell; the controller moves them
+        apart onto opposite neighbors as part of the split operation.
+        """
+        half = self.volume / 2.0
+        make = lambda: Droplet(  # noqa: E731 - tiny local factory
+            position=self.position,
+            volume=half,
+            contents=dict(self.contents),
+            name=self.name,
+        )
+        return (make(), make())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        tag = self.name or f"droplet{self.uid}"
+        return f"Droplet({tag}@{self.position}, {self.volume:.2e} L)"

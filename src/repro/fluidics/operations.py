@@ -1,0 +1,116 @@
+"""Assay operations: the instruction set a protocol compiles to.
+
+A bioassay on a digital biochip is a sequence (more generally a DAG) of
+fluidic operations — the paper's glucose assay is "transportation, mixing
+and optical detection" after dispensing sample and reagent.  These
+dataclasses are the declarative form consumed by the
+:class:`~repro.fluidics.scheduler.Scheduler`; droplets are referred to by
+string handles so protocols can be written before any droplet exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+from repro.errors import SchedulingError
+
+__all__ = [
+    "Dispense",
+    "Transport",
+    "Mix",
+    "Split",
+    "Detect",
+    "Discard",
+    "Operation",
+]
+
+
+@dataclass(frozen=True)
+class Dispense:
+    """Create a droplet at a source cell.
+
+    ``contents`` maps species to molar concentration; ``volume`` in liters.
+    """
+
+    droplet: str
+    at: Hashable
+    contents: Dict[str, float] = field(default_factory=dict)
+    volume: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.volume <= 0:
+            raise SchedulingError(
+                f"dispense {self.droplet!r}: volume must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Transport:
+    """Route a droplet to a destination cell."""
+
+    droplet: str
+    to: Hashable
+
+
+@dataclass(frozen=True)
+class Mix:
+    """Merge two droplets and circulate the result to homogenize it.
+
+    The merged droplet takes the handle ``result``; both inputs cease to
+    exist.  ``at`` is the cell where mixing happens (the merge target), and
+    ``cycles`` the number of mixing loop circuits.
+    """
+
+    first: str
+    second: str
+    result: str
+    at: Hashable
+    cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise SchedulingError(f"mix {self.result!r}: cycles must be >= 1")
+        if len({self.first, self.second, self.result}) < 2:
+            raise SchedulingError("mix operands must be distinct handles")
+
+
+@dataclass(frozen=True)
+class Split:
+    """Split a droplet into two halves with new handles."""
+
+    droplet: str
+    into: Tuple[str, str]
+
+    def __post_init__(self) -> None:
+        if len(set(self.into)) != 2:
+            raise SchedulingError("split targets must be two distinct handles")
+
+
+@dataclass(frozen=True)
+class Detect:
+    """Hold a droplet on a detection cell for an optical measurement.
+
+    ``duration`` (seconds) is the incubation/measurement window; the assay
+    layer reads the droplet's chemistry at the end of it.
+    """
+
+    droplet: str
+    at: Hashable
+    duration: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SchedulingError(
+                f"detect {self.droplet!r}: duration must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class Discard:
+    """Remove a droplet from the array (waste)."""
+
+    droplet: str
+
+
+Operation = Union[Dispense, Transport, Mix, Split, Detect, Discard]

@@ -1,0 +1,252 @@
+"""Axial/cube coordinates on the hexagonal (triangular) lattice.
+
+The latest-generation biochips modelled by the paper use *hexagonal
+electrodes* arranged in a close-packed 2-D array; every cell has six
+physically adjacent cells (Figure 1(b) of the paper).  This module provides
+the coordinate algebra everything else is built on.
+
+We use **axial coordinates** ``(q, r)``: the implicit third cube coordinate
+is ``s = -q - r`` so that ``q + r + s == 0``.  The six neighbor directions,
+in counter-clockwise order starting from "east", are::
+
+    E=(+1, 0)  NE=(+1, -1)  NW=(0, -1)  W=(-1, 0)  SW=(-1, +1)  SE=(0, +1)
+
+Distances are the standard hex (cube) metric; rings, spirals, lines and the
+sixfold rotation group are provided because the redundancy-pattern code and
+the visualization layer both need them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "Hex",
+    "HEX_DIRECTIONS",
+    "DIRECTION_NAMES",
+    "hex_distance",
+    "hex_ring",
+    "hex_spiral",
+    "hex_disk",
+    "hex_line",
+    "hex_round",
+    "axial_to_pixel",
+    "pixel_to_axial",
+]
+
+
+# Counter-clockwise starting at east.  Order matters: rotation and ring
+# walking rely on it.
+HEX_DIRECTIONS: Tuple[Tuple[int, int], ...] = (
+    (1, 0),
+    (1, -1),
+    (0, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, 1),
+)
+
+DIRECTION_NAMES: Tuple[str, ...] = ("E", "NE", "NW", "W", "SW", "SE")
+
+
+@dataclass(frozen=True, order=True)
+class Hex:
+    """A cell location in axial coordinates on the hexagonal lattice.
+
+    Instances are immutable, hashable and totally ordered (lexicographic on
+    ``(q, r)``), so they can be used as dict keys and sorted for
+    deterministic iteration.
+    """
+
+    q: int
+    r: int
+
+    # -- cube view ---------------------------------------------------------
+    @property
+    def s(self) -> int:
+        """Implicit third cube coordinate (``q + r + s == 0``)."""
+        return -self.q - self.r
+
+    @property
+    def cube(self) -> Tuple[int, int, int]:
+        """The full cube-coordinate triple ``(q, r, s)``."""
+        return (self.q, self.r, self.s)
+
+    @classmethod
+    def from_cube(cls, q: int, r: int, s: int) -> "Hex":
+        """Build from cube coordinates, checking the zero-sum invariant."""
+        if q + r + s != 0:
+            raise GeometryError(f"cube coordinates must sum to 0, got ({q}, {r}, {s})")
+        return cls(q, r)
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: "Hex") -> "Hex":
+        return Hex(self.q + other.q, self.r + other.r)
+
+    def __sub__(self, other: "Hex") -> "Hex":
+        return Hex(self.q - other.q, self.r - other.r)
+
+    def __mul__(self, k: int) -> "Hex":
+        if not isinstance(k, int):
+            raise GeometryError(f"hex coordinates scale by integers only, got {k!r}")
+        return Hex(self.q * k, self.r * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Hex":
+        return Hex(-self.q, -self.r)
+
+    # -- neighborhood ------------------------------------------------------
+    def neighbor(self, direction: int) -> "Hex":
+        """The adjacent cell in ``direction`` (0..5, CCW from east)."""
+        dq, dr = HEX_DIRECTIONS[direction % 6]
+        return Hex(self.q + dq, self.r + dr)
+
+    def neighbors(self) -> List["Hex"]:
+        """All six physically adjacent cells, CCW from east."""
+        return [Hex(self.q + dq, self.r + dr) for dq, dr in HEX_DIRECTIONS]
+
+    def is_adjacent(self, other: "Hex") -> bool:
+        """True iff a droplet could move between the two cells in one step."""
+        return hex_distance(self, other) == 1
+
+    # -- metric ------------------------------------------------------------
+    def distance(self, other: "Hex") -> int:
+        """Hex-lattice (minimum number of moves) distance to ``other``."""
+        return hex_distance(self, other)
+
+    def length(self) -> int:
+        """Distance from the origin."""
+        return (abs(self.q) + abs(self.r) + abs(self.s)) // 2
+
+    # -- symmetry ----------------------------------------------------------
+    def rotate60(self, times: int = 1) -> "Hex":
+        """Rotate about the origin by ``times`` * 60 degrees CCW."""
+        q, r, s = self.cube
+        for _ in range(times % 6):
+            q, r, s = -s, -q, -r
+        return Hex(q, r)
+
+    def reflect_q(self) -> "Hex":
+        """Reflect across the q-axis (swap r and s)."""
+        return Hex(self.q, self.s)
+
+    def __str__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"({self.q},{self.r})"
+
+
+def hex_distance(a: Hex, b: Hex) -> int:
+    """Minimum number of single-cell droplet moves between ``a`` and ``b``."""
+    dq = a.q - b.q
+    dr = a.r - b.r
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+def hex_ring(center: Hex, radius: int) -> List[Hex]:
+    """The cells at exactly ``radius`` moves from ``center``.
+
+    ``radius == 0`` returns ``[center]``.  For ``radius >= 1`` the ring has
+    ``6 * radius`` cells, listed CCW starting from the cell ``radius`` steps
+    east... actually starting from direction 4 (SW corner) per the standard
+    ring-walk construction; the starting point is deterministic.
+    """
+    if radius < 0:
+        raise GeometryError(f"ring radius must be >= 0, got {radius}")
+    if radius == 0:
+        return [center]
+    results: List[Hex] = []
+    # Start at the corner reached by walking `radius` steps in direction 4.
+    cursor = center + Hex(*HEX_DIRECTIONS[4]) * radius
+    for direction in range(6):
+        for _ in range(radius):
+            results.append(cursor)
+            cursor = cursor.neighbor(direction)
+    return results
+
+
+def hex_spiral(center: Hex, max_radius: int) -> List[Hex]:
+    """All cells within ``max_radius`` of ``center``, ordered by ring."""
+    if max_radius < 0:
+        raise GeometryError(f"spiral radius must be >= 0, got {max_radius}")
+    cells: List[Hex] = [center]
+    for radius in range(1, max_radius + 1):
+        cells.extend(hex_ring(center, radius))
+    return cells
+
+
+def hex_disk(center: Hex, radius: int) -> List[Hex]:
+    """All cells within ``radius`` of ``center`` (a filled hexagon).
+
+    Equivalent to :func:`hex_spiral` but generated directly; contains
+    ``3*radius*(radius+1) + 1`` cells.
+    """
+    if radius < 0:
+        raise GeometryError(f"disk radius must be >= 0, got {radius}")
+    cells: List[Hex] = []
+    for q in range(-radius, radius + 1):
+        r_lo = max(-radius, -q - radius)
+        r_hi = min(radius, -q + radius)
+        for r in range(r_lo, r_hi + 1):
+            cells.append(center + Hex(q, r))
+    return cells
+
+
+def hex_round(fq: float, fr: float) -> Hex:
+    """Round fractional axial coordinates to the nearest lattice cell."""
+    fs = -fq - fr
+    q = round(fq)
+    r = round(fr)
+    s = round(fs)
+    dq = abs(q - fq)
+    dr = abs(r - fr)
+    ds = abs(s - fs)
+    if dq > dr and dq > ds:
+        q = -r - s
+    elif dr > ds:
+        r = -q - s
+    return Hex(int(q), int(r))
+
+
+def hex_line(a: Hex, b: Hex) -> List[Hex]:
+    """The cells on the straight lattice line from ``a`` to ``b`` inclusive.
+
+    Uses linear interpolation in cube space with per-step rounding; the
+    result has ``distance(a, b) + 1`` cells and consecutive cells are
+    adjacent, so it is a legal droplet path on a fault-free array.
+    """
+    n = hex_distance(a, b)
+    if n == 0:
+        return [a]
+    cells: List[Hex] = []
+    # Nudge to break ties deterministically when the line passes through
+    # cell corners.
+    eps = 1e-6
+    for i in range(n + 1):
+        t = i / n
+        fq = a.q + (b.q - a.q) * t + eps * t
+        fr = a.r + (b.r - a.r) * t + eps * t
+        cells.append(hex_round(fq, fr))
+    return cells
+
+
+def axial_to_pixel(h: Hex, size: float = 1.0) -> Tuple[float, float]:
+    """Center of cell ``h`` in Cartesian coordinates ("pointy-top" layout).
+
+    ``size`` is the hexagon circumradius.  Used by the SVG renderer.
+    """
+    x = size * (math.sqrt(3.0) * h.q + math.sqrt(3.0) / 2.0 * h.r)
+    y = size * (1.5 * h.r)
+    return (x, y)
+
+
+def pixel_to_axial(x: float, y: float, size: float = 1.0) -> Hex:
+    """Inverse of :func:`axial_to_pixel` (nearest cell)."""
+    if size <= 0:
+        raise GeometryError(f"hex size must be positive, got {size}")
+    fq = (math.sqrt(3.0) / 3.0 * x - 1.0 / 3.0 * y) / size
+    fr = (2.0 / 3.0 * y) / size
+    return hex_round(fq, fr)

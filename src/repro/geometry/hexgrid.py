@@ -1,0 +1,229 @@
+"""Finite regions of the hexagonal lattice.
+
+A biochip occupies a finite region of the infinite hex lattice.  The paper's
+arrays are drawn as rectangles of close-packed hexagons; we support the three
+region shapes that occur in practice:
+
+* :class:`RectRegion` — ``cols x rows`` in *offset* layout (odd-r shifted),
+  the shape of the arrays in Figures 3-6 and of the diagnostics chip;
+* :class:`ParallelogramRegion` — axial-aligned parallelogram, convenient for
+  sublattice math;
+* :class:`HexagonRegion` — a radius-R filled hexagon.
+
+All regions are immutable, iterable in deterministic order, and support
+membership tests, boundary queries and neighbor queries restricted to the
+region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.hex import Hex, hex_disk
+
+__all__ = [
+    "HexRegion",
+    "RectRegion",
+    "ParallelogramRegion",
+    "HexagonRegion",
+    "FrozenRegion",
+    "offset_to_axial",
+    "axial_to_offset",
+]
+
+
+def offset_to_axial(col: int, row: int) -> Hex:
+    """Convert odd-r offset coordinates (col, row) to axial.
+
+    Odd rows are shifted half a cell to the right — the standard "odd-r"
+    horizontal layout for pointy-top hexagons.
+    """
+    q = col - (row - (row & 1)) // 2
+    return Hex(q, row)
+
+
+def axial_to_offset(h: Hex) -> Tuple[int, int]:
+    """Convert axial coordinates to odd-r offset ``(col, row)``."""
+    col = h.q + (h.r - (h.r & 1)) // 2
+    return (col, h.r)
+
+
+class HexRegion:
+    """Abstract finite set of hex cells.
+
+    Subclasses must populate ``self._cells`` (an ordered tuple) before
+    calling ``super().__init__()`` is complete; this base class provides the
+    shared set algebra and adjacency-restricted queries.
+    """
+
+    _cells: Tuple[Hex, ...]
+
+    def __init__(self, cells: Iterable[Hex]):
+        ordered = tuple(sorted(set(cells)))
+        if not ordered:
+            raise GeometryError("a region must contain at least one cell")
+        self._cells = ordered
+        self._cell_set: Set[Hex] = set(ordered)
+
+    # -- container protocol -------------------------------------------------
+    def __contains__(self, h: Hex) -> bool:
+        return h in self._cell_set
+
+    def __iter__(self) -> Iterator[Hex]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HexRegion):
+            return NotImplemented
+        return self._cell_set == other._cell_set
+
+    def __hash__(self) -> int:
+        return hash(self._cells)
+
+    @property
+    def cells(self) -> Tuple[Hex, ...]:
+        """All cells, sorted lexicographically by ``(q, r)``."""
+        return self._cells
+
+    # -- region-restricted adjacency ----------------------------------------
+    def neighbors_in(self, h: Hex) -> List[Hex]:
+        """Neighbors of ``h`` that fall inside the region."""
+        return [n for n in h.neighbors() if n in self._cell_set]
+
+    def degree(self, h: Hex) -> int:
+        """Number of in-region neighbors (6 for interior cells)."""
+        return len(self.neighbors_in(h))
+
+    def is_boundary(self, h: Hex) -> bool:
+        """True iff ``h`` is in the region but has < 6 in-region neighbors."""
+        if h not in self._cell_set:
+            raise GeometryError(f"{h} is not in the region")
+        return self.degree(h) < 6
+
+    def interior(self) -> List[Hex]:
+        """Cells whose full 6-neighborhood lies inside the region."""
+        return [h for h in self._cells if self.degree(h) == 6]
+
+    def boundary(self) -> List[Hex]:
+        """Cells with at least one neighbor outside the region."""
+        return [h for h in self._cells if self.degree(h) < 6]
+
+    # -- set algebra ----------------------------------------------------------
+    def union(self, other: "HexRegion") -> "FrozenRegion":
+        return FrozenRegion(self._cell_set | other._cell_set)
+
+    def intersection(self, other: "HexRegion") -> "FrozenRegion":
+        common = self._cell_set & other._cell_set
+        if not common:
+            raise GeometryError("regions do not intersect")
+        return FrozenRegion(common)
+
+    def difference(self, other: "HexRegion") -> "FrozenRegion":
+        rest = self._cell_set - other._cell_set
+        if not rest:
+            raise GeometryError("difference is empty")
+        return FrozenRegion(rest)
+
+    def translated(self, offset: Hex) -> "FrozenRegion":
+        """The region shifted by ``offset``."""
+        return FrozenRegion(h + offset for h in self._cells)
+
+    # -- misc -----------------------------------------------------------------
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        """``(q_min, q_max, r_min, r_max)`` over the region's cells."""
+        qs = [h.q for h in self._cells]
+        rs = [h.r for h in self._cells]
+        return (min(qs), max(qs), min(rs), max(rs))
+
+    def is_connected(self) -> bool:
+        """True iff the region is one connected component under adjacency."""
+        seen: Set[Hex] = set()
+        stack = [self._cells[0]]
+        while stack:
+            h = stack.pop()
+            if h in seen:
+                continue
+            seen.add(h)
+            stack.extend(n for n in self.neighbors_in(h) if n not in seen)
+        return len(seen) == len(self._cells)
+
+
+class FrozenRegion(HexRegion):
+    """An arbitrary explicit set of cells (result of set algebra)."""
+
+
+class RectRegion(HexRegion):
+    """A ``cols x rows`` rectangle of close-packed hexagons (odd-r layout).
+
+    This is the array shape drawn throughout the paper; rows are offset so
+    the hexagons pack tightly.
+    """
+
+    def __init__(self, cols: int, rows: int):
+        if cols < 1 or rows < 1:
+            raise GeometryError(f"rectangle must be at least 1x1, got {cols}x{rows}")
+        self.cols = cols
+        self.rows = rows
+        cells = [offset_to_axial(c, r) for r in range(rows) for c in range(cols)]
+        super().__init__(cells)
+
+    def cell_at(self, col: int, row: int) -> Hex:
+        """The cell at offset coordinates ``(col, row)``."""
+        if not (0 <= col < self.cols and 0 <= row < self.rows):
+            raise GeometryError(
+                f"offset ({col},{row}) outside {self.cols}x{self.rows} rectangle"
+            )
+        return offset_to_axial(col, row)
+
+    def rows_of_cells(self) -> List[List[Hex]]:
+        """Cells grouped by row, left to right — used by renderers."""
+        return [
+            [offset_to_axial(c, r) for c in range(self.cols)] for r in range(self.rows)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"RectRegion({self.cols}x{self.rows})"
+
+
+class ParallelogramRegion(HexRegion):
+    """Axial-aligned parallelogram: ``q in [q0, q0+w)``, ``r in [r0, r0+h)``."""
+
+    def __init__(self, width: int, height: int, q0: int = 0, r0: int = 0):
+        if width < 1 or height < 1:
+            raise GeometryError(
+                f"parallelogram must be at least 1x1, got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self.q0 = q0
+        self.r0 = r0
+        cells = [
+            Hex(q, r)
+            for q in range(q0, q0 + width)
+            for r in range(r0, r0 + height)
+        ]
+        super().__init__(cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return (
+            f"ParallelogramRegion({self.width}x{self.height}, "
+            f"origin=({self.q0},{self.r0}))"
+        )
+
+
+class HexagonRegion(HexRegion):
+    """A filled hexagon of given radius around a center cell."""
+
+    def __init__(self, radius: int, center: Optional[Hex] = None):
+        if radius < 0:
+            raise GeometryError(f"hexagon radius must be >= 0, got {radius}")
+        self.radius = radius
+        self.center = center if center is not None else Hex(0, 0)
+        super().__init__(hex_disk(self.center, radius))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return f"HexagonRegion(radius={self.radius}, center={self.center})"

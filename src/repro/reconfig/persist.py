@@ -1,0 +1,109 @@
+"""Persistence of repair plans — the microcontroller configuration.
+
+"The configurations of the microfluidic array are programmed into a
+microcontroller that controls the voltages of electrodes" (Section 3).
+After testing and reconfiguration, the repair plan *is* that
+configuration: a logical→physical electrode table.  This module serializes
+plans to plain JSON so a tester can write the configuration out and the
+instrument can load it at run time, and so test flows can be audited.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from repro.chip.biochip import Biochip
+from repro.errors import ReconfigurationError
+from repro.geometry.hex import Hex
+from repro.geometry.square import Square
+from repro.reconfig.local import RepairPlan
+
+__all__ = ["plan_to_dict", "plan_from_dict", "dump_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode(coord: Any) -> Dict[str, Any]:
+    if isinstance(coord, Hex):
+        return {"kind": "hex", "pos": [coord.q, coord.r]}
+    if isinstance(coord, Square):
+        return {"kind": "square", "pos": [coord.x, coord.y]}
+    raise ReconfigurationError(
+        f"cannot serialize coordinate of type {type(coord).__name__}"
+    )
+
+
+def _decode(data: Dict[str, Any]) -> Any:
+    kind = data.get("kind")
+    a, b = data["pos"]
+    if kind == "hex":
+        return Hex(a, b)
+    if kind == "square":
+        return Square(a, b)
+    raise ReconfigurationError(f"unknown coordinate kind {kind!r}")
+
+
+def plan_to_dict(plan: RepairPlan) -> Dict[str, Any]:
+    """A JSON-serializable description of ``plan``."""
+    return {
+        "format": _FORMAT_VERSION,
+        "assignment": [
+            {"faulty": _encode(primary), "spare": _encode(spare)}
+            for primary, spare in sorted(plan.assignment.items())
+        ],
+        "unrepaired": [_encode(c) for c in plan.unrepaired],
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> RepairPlan:
+    """Rebuild a :class:`RepairPlan` written by :func:`plan_to_dict`."""
+    try:
+        version = data["format"]
+        raw_assignment = data["assignment"]
+        raw_unrepaired = data.get("unrepaired", [])
+    except (KeyError, TypeError) as exc:
+        raise ReconfigurationError(
+            f"malformed repair plan: missing {exc}"
+        ) from exc
+    if version != _FORMAT_VERSION:
+        raise ReconfigurationError(
+            f"unsupported repair-plan format version {version!r}"
+        )
+    assignment = {
+        _decode(entry["faulty"]): _decode(entry["spare"])
+        for entry in raw_assignment
+    }
+    return RepairPlan(
+        assignment=assignment,
+        unrepaired=tuple(_decode(c) for c in raw_unrepaired),
+    )
+
+
+def dump_plan(plan: RepairPlan, fp: Union[IO[str], str]) -> None:
+    """Write ``plan`` as JSON to a path or file object."""
+    data = plan_to_dict(plan)
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(data, fp, indent=2, sort_keys=True)
+
+
+def load_plan(
+    fp: Union[IO[str], str], chip: Biochip = None
+) -> RepairPlan:
+    """Read a plan; optionally validate it against ``chip`` immediately.
+
+    Validation catches the deadly mistake of loading a configuration onto
+    the wrong (or differently-faulted) chip instance.
+    """
+    if isinstance(fp, str):
+        with open(fp, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(fp)
+    plan = plan_from_dict(data)
+    if chip is not None:
+        plan.validate_against(chip)
+    return plan

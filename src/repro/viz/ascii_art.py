@@ -1,0 +1,124 @@
+"""ASCII rendering of biochip layouts, fault maps and repairs.
+
+Renders the hexagonal array in odd-r offset rows (odd rows indented half a
+cell, like the close-packed drawings in the paper's figures) and square
+arrays as a plain grid.  Cell glyphs:
+
+====  ==========================================
+``.``  healthy primary cell
+``o``  healthy primary cell used by the assays
+``+``  healthy spare cell
+``R``  spare cell used in a reconfiguration
+``X``  faulty primary cell
+``x``  faulty spare cell
+``#``  faulty primary repaired by an adjacent spare
+====  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+from repro.chip.biochip import Biochip
+from repro.chip.cell import Cell
+from repro.geometry.hex import Hex
+from repro.geometry.hexgrid import axial_to_offset
+from repro.geometry.square import Square
+from repro.reconfig.local import RepairPlan
+
+__all__ = ["render_chip", "render_legend"]
+
+LEGEND = (
+    ". primary   o used primary   + spare   R repair spare   "
+    "X faulty primary   x faulty spare   # repaired primary"
+)
+
+
+def _glyph(
+    cell: Cell,
+    used: Set[Hashable],
+    repaired: Set[Hashable],
+    repair_spares: Set[Hashable],
+) -> str:
+    if cell.is_spare:
+        if cell.is_faulty:
+            return "x"
+        return "R" if cell.coord in repair_spares else "+"
+    if cell.is_faulty:
+        return "#" if cell.coord in repaired else "X"
+    return "o" if cell.coord in used else "."
+
+
+def render_chip(
+    chip: Biochip,
+    used: Iterable[Hashable] = (),
+    plan: Optional[RepairPlan] = None,
+) -> str:
+    """Multi-line ASCII drawing of ``chip``.
+
+    ``used`` highlights assay-occupied primaries; ``plan`` highlights the
+    repaired primaries and the spares serving them.
+    """
+    used_set = set(used)
+    repaired: Set[Hashable] = set()
+    repair_spares: Set[Hashable] = set()
+    if plan is not None:
+        repaired = set(plan.assignment)
+        repair_spares = set(plan.assignment.values())
+
+    sample = chip.coords[0]
+    if isinstance(sample, Hex):
+        return _render_hex(chip, used_set, repaired, repair_spares)
+    if isinstance(sample, Square):
+        return _render_square(chip, used_set, repaired, repair_spares)
+    raise TypeError(f"cannot render coordinates of type {type(sample).__name__}")
+
+
+def _render_hex(
+    chip: Biochip,
+    used: Set[Hashable],
+    repaired: Set[Hashable],
+    repair_spares: Set[Hashable],
+) -> str:
+    offsets: Dict[Hashable, tuple] = {c: axial_to_offset(c) for c in chip.coords}
+    cols = [col for col, _ in offsets.values()]
+    rows = [row for _, row in offsets.values()]
+    col_lo, row_lo, row_hi = min(cols), min(rows), max(rows)
+    by_pos = {offsets[c]: chip[c] for c in chip.coords}
+    lines = []
+    for row in range(row_lo, row_hi + 1):
+        indent = " " if row % 2 else ""
+        chars = []
+        for col in range(col_lo, max(cols) + 1):
+            cell = by_pos.get((col, row))
+            chars.append(
+                _glyph(cell, used, repaired, repair_spares) if cell else " "
+            )
+        lines.append(indent + " ".join(chars).rstrip())
+    return "\n".join(lines)
+
+
+def _render_square(
+    chip: Biochip,
+    used: Set[Hashable],
+    repaired: Set[Hashable],
+    repair_spares: Set[Hashable],
+) -> str:
+    xs = [c.x for c in chip.coords]
+    ys = [c.y for c in chip.coords]
+    lines = []
+    for y in range(min(ys), max(ys) + 1):
+        chars = []
+        for x in range(min(xs), max(xs) + 1):
+            coord = Square(x, y)
+            if coord in chip:
+                chars.append(_glyph(chip[coord], used, repaired, repair_spares))
+            else:
+                chars.append(" ")
+        lines.append(" ".join(chars).rstrip())
+    return "\n".join(lines)
+
+
+def render_legend() -> str:
+    """The glyph legend, for printing under a rendering."""
+    return LEGEND

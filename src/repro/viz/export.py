@@ -1,0 +1,47 @@
+"""CSV export of experiment series.
+
+Experiment drivers expose their rows as plain sequences; this writer keeps
+the on-disk format trivial (RFC-4180 via the stdlib) so results can be
+re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Iterable, Sequence, Union
+
+from repro.errors import ReproError
+
+__all__ = ["write_csv"]
+
+
+def write_csv(
+    destination: Union[str, IO[str]],
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> int:
+    """Write ``rows`` with ``header`` to a path or file object.
+
+    Returns the number of data rows written.  Row lengths are validated
+    against the header so column drift in an experiment driver fails fast.
+    """
+    if not header:
+        raise ReproError("CSV header must not be empty")
+
+    def _write(handle: IO[str]) -> int:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        count = 0
+        for row in rows:
+            if len(row) != len(header):
+                raise ReproError(
+                    f"row {count} has {len(row)} fields, header has {len(header)}"
+                )
+            writer.writerow(row)
+            count += 1
+        return count
+
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8", newline="") as handle:
+            return _write(handle)
+    return _write(destination)

@@ -1,0 +1,86 @@
+"""ASCII line charts for yield curves.
+
+Every figure in the paper is a family of yield-vs-parameter curves; this
+renderer draws them in the terminal so the benchmark harness and the
+examples can show the reproduced shapes without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 68,
+    height: int = 20,
+    title: str = "",
+    y_label: str = "Y",
+    x_label: str = "x",
+) -> str:
+    """Render named ``(x, y)`` series on one shared-axis ASCII canvas.
+
+    Series are drawn in insertion order with cycling markers; points that
+    collide on the canvas keep the first-drawn marker.  Axis ranges span
+    the union of all series.
+    """
+    if not series:
+        raise ReproError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ReproError(f"canvas too small: {width}x{height}")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ReproError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        cx = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        cy = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        return (height - 1 - cy, cx)
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            row, col = to_cell(x, y)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_hi:.3f}"
+    bottom_label = f"{y_lo:.3f}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_line = f"{x_lo:.3f}".ljust(width - 12) + f"{x_hi:.3f}".rjust(12)
+    lines.append(" " * label_width + "  " + x_line + f"  ({x_label})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Yield estimation: analytical models, Monte-Carlo and sweeps.
+
+* :mod:`repro.yieldsim.analytical` — ``p**n`` baseline and the DTMB(1,6)
+  cluster ("flower") model of Figure 7;
+* :mod:`repro.yieldsim.montecarlo` — batched repairability simulation for
+  the higher-redundancy designs (Figures 9, 13);
+* :mod:`repro.yieldsim.effective` — the EY = Y/(1+RR) trade-off metric
+  (Figure 10);
+* :mod:`repro.yieldsim.sweeps` — reproducible parameter sweeps;
+* :mod:`repro.yieldsim.stats` — Wilson confidence intervals.
+"""
+
+from repro.yieldsim.analytical import (
+    dtmb16_yield,
+    flower_yield,
+    yield_curve,
+    yield_no_redundancy,
+)
+from repro.yieldsim.effective import chip_effective_yield, effective_yield
+from repro.yieldsim.exact import MAX_EXACT_CELLS, exact_yield
+from repro.yieldsim.montecarlo import DEFAULT_RUNS, YieldSimulator
+from repro.yieldsim.stats import YieldEstimate, wilson_interval
+from repro.yieldsim.sweeps import (
+    DEFAULT_P_GRID,
+    DefectCountPoint,
+    SurvivalPoint,
+    analytical_curves_dtmb16,
+    defect_count_sweep,
+    effective_yield_sweep,
+    survival_sweep,
+)
+
+__all__ = [
+    "yield_no_redundancy",
+    "flower_yield",
+    "dtmb16_yield",
+    "yield_curve",
+    "YieldSimulator",
+    "DEFAULT_RUNS",
+    "YieldEstimate",
+    "wilson_interval",
+    "effective_yield",
+    "chip_effective_yield",
+    "exact_yield",
+    "MAX_EXACT_CELLS",
+    "SurvivalPoint",
+    "DefectCountPoint",
+    "survival_sweep",
+    "effective_yield_sweep",
+    "defect_count_sweep",
+    "analytical_curves_dtmb16",
+    "DEFAULT_P_GRID",
+]

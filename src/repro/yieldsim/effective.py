@@ -1,0 +1,46 @@
+"""Effective yield: the paper's yield-vs-area trade-off metric.
+
+Adding spares raises yield but also raises array area and manufacturing
+cost.  Section 6 defines::
+
+    EY = Y * (n / N) = Y / (1 + RR)
+
+where ``n`` is the number of primary cells, ``N`` the total number of cells
+and ``RR`` the redundancy ratio.  Figure 10 plots EY for all four designs at
+n = 100: high redundancy (DTMB(4,4)) wins at low survival probability,
+low redundancy (DTMB(1,6)/(2,6)) wins when cells rarely fail.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.chip.biochip import Biochip
+from repro.errors import SimulationError
+from repro.yieldsim.stats import YieldEstimate
+
+__all__ = ["effective_yield", "chip_effective_yield"]
+
+
+def effective_yield(yield_value: float, redundancy_ratio: float) -> float:
+    """``EY = Y / (1 + RR)`` (equivalently ``Y * n / N``)."""
+    if not 0.0 <= yield_value <= 1.0:
+        raise SimulationError(f"yield must be in [0, 1], got {yield_value}")
+    if redundancy_ratio < 0.0:
+        raise SimulationError(
+            f"redundancy ratio must be >= 0, got {redundancy_ratio}"
+        )
+    return yield_value / (1.0 + redundancy_ratio)
+
+
+def chip_effective_yield(
+    chip: Biochip, estimate: Union[YieldEstimate, float]
+) -> float:
+    """EY using the chip's *actual* finite-array redundancy ratio.
+
+    Finite arrays clip the spare pattern at the boundary, so the realized
+    RR differs slightly from the asymptotic s/p; using the chip's own count
+    keeps Y and EY consistent for the same object.
+    """
+    value = estimate.value if isinstance(estimate, YieldEstimate) else estimate
+    return effective_yield(value, chip.redundancy_ratio())

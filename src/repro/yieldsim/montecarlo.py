@@ -1,0 +1,179 @@
+"""Monte-Carlo yield estimation (Section 6).
+
+"During each run of the simulation, the cells in the microfluidic array,
+including both primary and spare cells, are randomly chosen to fail with
+probability p [sic: with survival probability p].  We then check if these
+defects can be tolerated via local reconfiguration based on the interstitial
+spare cells ... After 10000 simulation runs, the yield of this microfluidic
+array is determined from the proportion of successful reconfigurations."
+
+:class:`YieldSimulator` precomputes the primary→adjacent-spare structure of
+a chip once, draws batched fault maps with ``numpy``, and answers the
+repairability question per run with an integer-indexed Kuhn matching — the
+graphs are tiny (only *faulty* primaries enter), so this is far faster than
+rebuilding chip-level objects 10 000 times.
+
+Two fault regimes are supported, matching the paper's two experiments:
+
+* :meth:`YieldSimulator.run_survival` — i.i.d. cell survival with
+  probability p (Figures 7, 9, 10);
+* :meth:`YieldSimulator.run_fixed_faults` — exactly m faulty cells chosen
+  uniformly among all cells (Figure 13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.chip.biochip import Biochip
+from repro.errors import SimulationError
+from repro.faults.injection import RngLike, make_rng
+from repro.yieldsim.stats import YieldEstimate
+
+__all__ = ["YieldSimulator", "DEFAULT_RUNS"]
+
+#: The paper's run count.
+DEFAULT_RUNS = 10_000
+
+
+class YieldSimulator:
+    """Batched Monte-Carlo repairability simulation for one chip layout.
+
+    Parameters
+    ----------
+    chip:
+        The array under evaluation.  Health state is ignored — fault maps
+        are drawn internally; the chip object is never mutated.
+    needed:
+        Primary coordinates that must work for the chip to be good
+        (default: every primary).  The diagnostics-chip experiment passes
+        the 108 assay-used cells here.
+    """
+
+    def __init__(self, chip: Biochip, needed: Optional[Iterable[Hashable]] = None):
+        self.chip = chip
+        coords = chip.coords
+        index: Dict[Hashable, int] = {c: i for i, c in enumerate(coords)}
+        self.n_cells = len(coords)
+
+        if needed is None:
+            needed_coords = [c.coord for c in chip.primaries()]
+        else:
+            needed_coords = sorted(set(needed))
+            for coord in needed_coords:
+                if coord not in chip:
+                    raise SimulationError(f"needed cell {coord} is not on the chip")
+                if not chip[coord].is_primary:
+                    raise SimulationError(
+                        f"needed cell {coord} is a spare; only primaries carry "
+                        "assay functionality"
+                    )
+        if not needed_coords:
+            raise SimulationError("no needed primary cells to protect")
+
+        #: cell indices of the protected primaries, aligned with ``_adj``.
+        self._needed_idx = np.array(
+            [index[c] for c in needed_coords], dtype=np.int64
+        )
+        #: per-protected-primary tuple of adjacent spare cell indices.
+        self._adj: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                index[s.coord]
+                for s in chip.adjacent_spares(coord)
+            )
+            for coord in needed_coords
+        )
+        self.needed_count = len(needed_coords)
+
+    # -- repair kernel -------------------------------------------------------
+    def _repairable(self, faulty_positions: Sequence[int], alive: np.ndarray) -> bool:
+        """Kuhn matching feasibility: can every faulty primary get a spare?
+
+        ``faulty_positions`` indexes into the protected-primary list;
+        ``alive`` is the per-cell survival row.  Correctness rests on the
+        standard augmenting-path theorem: if a left vertex cannot be
+        augmented at the moment it is processed, it is exposed in *some*
+        maximum matching, so no saturating matching exists and we can stop.
+        """
+        match_right: Dict[int, int] = {}
+
+        def try_augment(j: int, visited: Set[int]) -> bool:
+            for s in self._adj[j]:
+                if not alive[s] or s in visited:
+                    continue
+                visited.add(s)
+                owner = match_right.get(s)
+                if owner is None or try_augment(owner, visited):
+                    match_right[s] = j
+                    return True
+            return False
+
+        for j in faulty_positions:
+            if not try_augment(j, set()):
+                return False
+        return True
+
+    # -- survival-probability regime ------------------------------------------
+    def run_survival(
+        self, p: float, runs: int = DEFAULT_RUNS, seed: RngLike = None
+    ) -> YieldEstimate:
+        """Yield under i.i.d. per-cell survival probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"survival probability must be in [0, 1], got {p}")
+        if runs < 1:
+            raise SimulationError(f"runs must be >= 1, got {runs}")
+        rng = make_rng(seed)
+        successes = 0
+        # Draw in batches to bound memory at ~8 MB regardless of run count.
+        batch = max(1, min(runs, 8_000_000 // max(1, self.n_cells)))
+        remaining = runs
+        while remaining > 0:
+            size = min(batch, remaining)
+            remaining -= size
+            alive = rng.random((size, self.n_cells)) < p
+            faulty = ~alive[:, self._needed_idx]
+            # Runs with zero faulty protected primaries succeed immediately.
+            any_fault = faulty.any(axis=1)
+            successes += int(size - any_fault.sum())
+            for r in np.nonzero(any_fault)[0]:
+                positions = np.nonzero(faulty[r])[0]
+                if self._repairable(positions.tolist(), alive[r]):
+                    successes += 1
+        return YieldEstimate(successes=successes, trials=runs)
+
+    # -- fixed-fault-count regime ------------------------------------------------
+    def run_fixed_faults(
+        self, m: int, runs: int = DEFAULT_RUNS, seed: RngLike = None
+    ) -> YieldEstimate:
+        """Yield with exactly ``m`` faulty cells, uniform over all cells.
+
+        This is the Figure 13 regime: faults can hit primaries (used or
+        unused) and spares alike; the chip is good iff every faulty
+        *protected* primary is matched to an adjacent fault-free spare.
+        """
+        if m < 0:
+            raise SimulationError(f"fault count must be >= 0, got {m}")
+        if m > self.n_cells:
+            raise SimulationError(
+                f"cannot place {m} faults on {self.n_cells} cells"
+            )
+        if runs < 1:
+            raise SimulationError(f"runs must be >= 1, got {runs}")
+        rng = make_rng(seed)
+        needed_pos: Dict[int, int] = {
+            int(cell): j for j, cell in enumerate(self._needed_idx)
+        }
+        successes = 0
+        alive = np.ones(self.n_cells, dtype=bool)
+        for _ in range(runs):
+            faults = rng.choice(self.n_cells, size=m, replace=False)
+            alive[faults] = False
+            positions = [
+                needed_pos[int(f)] for f in faults if int(f) in needed_pos
+            ]
+            if not positions or self._repairable(positions, alive):
+                successes += 1
+            alive[faults] = True
+        return YieldEstimate(successes=successes, trials=runs)

@@ -1,0 +1,140 @@
+"""Parameter sweeps: the series behind Figures 7, 9, 10 and 13.
+
+Each sweep returns plain dataclass records so the experiment drivers,
+benchmarks and tests can all consume the same structures.  Seeds are derived
+deterministically per point (seed + point index) so a sweep is exactly
+reproducible and individual points can be recomputed in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.designs.interstitial import build_with_primary_count
+from repro.designs.spec import DesignSpec
+from repro.errors import SimulationError
+from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
+from repro.yieldsim.effective import chip_effective_yield
+from repro.yieldsim.montecarlo import DEFAULT_RUNS, YieldSimulator
+from repro.yieldsim.stats import YieldEstimate
+
+__all__ = [
+    "SurvivalPoint",
+    "DefectCountPoint",
+    "survival_sweep",
+    "effective_yield_sweep",
+    "defect_count_sweep",
+    "analytical_curves_dtmb16",
+]
+
+#: The survival-probability grid the paper's figures span.
+DEFAULT_P_GRID: Tuple[float, ...] = tuple(
+    round(0.90 + 0.01 * i, 2) for i in range(11)
+)
+
+
+@dataclass(frozen=True)
+class SurvivalPoint:
+    """One Monte-Carlo point of a yield-vs-p sweep."""
+
+    design: str
+    n: int
+    p: float
+    estimate: YieldEstimate
+    effective: float
+
+    @property
+    def yield_value(self) -> float:
+        return self.estimate.value
+
+
+@dataclass(frozen=True)
+class DefectCountPoint:
+    """One Monte-Carlo point of a yield-vs-m sweep (Figure 13 regime)."""
+
+    m: int
+    estimate: YieldEstimate
+
+    @property
+    def yield_value(self) -> float:
+        return self.estimate.value
+
+
+def survival_sweep(
+    specs: Sequence[DesignSpec],
+    ns: Sequence[int],
+    ps: Sequence[float] = DEFAULT_P_GRID,
+    runs: int = DEFAULT_RUNS,
+    seed: int = 2005,
+) -> List[SurvivalPoint]:
+    """Monte-Carlo yield of each design at each (n, p) — Figure 9's data.
+
+    Chips are built with exactly ``n`` primary cells per design (the paper
+    parameterizes by primary count).  Effective yield uses each chip's
+    realized redundancy ratio.
+    """
+    points: List[SurvivalPoint] = []
+    counter = 0
+    for spec in specs:
+        for n in ns:
+            chip = build_with_primary_count(spec, n).build()
+            sim = YieldSimulator(chip)
+            for p in ps:
+                counter += 1
+                estimate = sim.run_survival(p, runs=runs, seed=seed + counter)
+                points.append(
+                    SurvivalPoint(
+                        design=spec.name,
+                        n=n,
+                        p=p,
+                        estimate=estimate,
+                        effective=chip_effective_yield(chip, estimate),
+                    )
+                )
+    return points
+
+
+def effective_yield_sweep(
+    specs: Sequence[DesignSpec],
+    n: int = 100,
+    ps: Sequence[float] = DEFAULT_P_GRID,
+    runs: int = DEFAULT_RUNS,
+    seed: int = 2005,
+) -> List[SurvivalPoint]:
+    """Effective-yield comparison at fixed primary count — Figure 10's data."""
+    return survival_sweep(specs, [n], ps, runs=runs, seed=seed)
+
+
+def defect_count_sweep(
+    chip: Biochip,
+    ms: Sequence[int],
+    needed: Optional[Iterable[Hashable]] = None,
+    runs: int = DEFAULT_RUNS,
+    seed: int = 2005,
+) -> List[DefectCountPoint]:
+    """Yield of ``chip`` under exactly-m-fault maps — Figure 13's data."""
+    sim = YieldSimulator(chip, needed=needed)
+    points: List[DefectCountPoint] = []
+    for i, m in enumerate(ms):
+        estimate = sim.run_fixed_faults(m, runs=runs, seed=seed + i + 1)
+        points.append(DefectCountPoint(m=m, estimate=estimate))
+    return points
+
+
+def analytical_curves_dtmb16(
+    ns: Sequence[int], ps: Sequence[float] = DEFAULT_P_GRID
+) -> Dict[str, List[Tuple[float, float]]]:
+    """The Figure 7 series: DTMB(1,6) analytical yield vs no-redundancy.
+
+    Returns named series ``"DTMB(1,6) n=<n>"`` and ``"no spares n=<n>"``
+    so renderers can plot them directly.
+    """
+    if not ns:
+        raise SimulationError("need at least one primary count")
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for n in ns:
+        series[f"DTMB(1,6) n={n}"] = [(p, dtmb16_yield(p, n)) for p in ps]
+        series[f"no spares n={n}"] = [(p, yield_no_redundancy(p, n)) for p in ps]
+    return series

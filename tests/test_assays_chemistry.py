@@ -1,0 +1,218 @@
+"""Tests for the Trinder kinetics, detection optics and assay library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assays.chemistry import (
+    MichaelisMentenStep,
+    ReactionCascade,
+    Species,
+    trinder_cascade,
+)
+from repro.assays.detection import BeerLambert, OpticalDetector, Photodiode
+from repro.assays.library import (
+    GLUCOSE_ASSAY,
+    PANEL,
+    assay_by_analyte,
+)
+from repro.errors import AssayError
+
+
+def glucose_mix(concentration: float) -> dict:
+    return {
+        Species.GLUCOSE: concentration,
+        Species.GLUCOSE_OXIDASE: 1e-6,
+        Species.PEROXIDASE: 0.5e-6,
+        Species.AAP4: 5e-3,
+        Species.TOPS: 5e-3,
+    }
+
+
+class TestMichaelisMenten:
+    def test_rate_zero_without_enzyme_or_substrate(self):
+        step = MichaelisMentenStep(
+            "s", enzyme="E", substrate="S", product="P", kcat=100.0, km=1e-3
+        )
+        assert step.rate({"S": 1e-3}) == 0.0
+        assert step.rate({"E": 1e-6}) == 0.0
+
+    def test_rate_saturates_at_high_substrate(self):
+        step = MichaelisMentenStep(
+            "s", enzyme="E", substrate="S", product="P", kcat=100.0, km=1e-3
+        )
+        vmax = 100.0 * 1e-6
+        nearly = step.rate({"E": 1e-6, "S": 1.0})
+        assert nearly == pytest.approx(vmax, rel=1e-2)
+
+    def test_rate_linear_at_low_substrate(self):
+        step = MichaelisMentenStep(
+            "s", enzyme="E", substrate="S", product="P", kcat=100.0, km=1e-3
+        )
+        r1 = step.rate({"E": 1e-6, "S": 1e-6})
+        r2 = step.rate({"E": 1e-6, "S": 2e-6})
+        assert r2 == pytest.approx(2 * r1, rel=1e-2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(AssayError):
+            MichaelisMentenStep("b", "E", "S", "P", kcat=-1, km=1e-3)
+        with pytest.raises(AssayError):
+            MichaelisMentenStep("b", "E", "S", "P", kcat=1, km=0)
+
+
+class TestCascadeSimulation:
+    def test_mass_conservation_glucose_to_products(self):
+        cascade = trinder_cascade()
+        start = glucose_mix(2e-3)
+        final = cascade.simulate(start, duration=120.0)
+        consumed = start[Species.GLUCOSE] - final[Species.GLUCOSE]
+        produced = final.get(Species.H2O2, 0.0) + 2.0 * final.get(
+            Species.QUINONEIMINE, 0.0
+        )
+        assert consumed == pytest.approx(produced, rel=1e-6)
+
+    def test_no_negative_concentrations(self):
+        cascade = trinder_cascade()
+        final = cascade.simulate(glucose_mix(5e-3), duration=600.0)
+        assert all(v >= 0.0 for v in final.values())
+
+    def test_chromogen_consumed_stoichiometrically(self):
+        cascade = trinder_cascade()
+        start = glucose_mix(2e-3)
+        final = cascade.simulate(start, duration=60.0)
+        dye = final.get(Species.QUINONEIMINE, 0.0)
+        assert start[Species.AAP4] - final[Species.AAP4] == pytest.approx(dye)
+        assert start[Species.TOPS] - final[Species.TOPS] == pytest.approx(dye)
+
+    def test_product_monotone_in_substrate(self):
+        cascade = trinder_cascade()
+        dyes = [
+            cascade.simulate(glucose_mix(c), 30.0).get(Species.QUINONEIMINE, 0.0)
+            for c in (1e-3, 2e-3, 4e-3, 8e-3)
+        ]
+        assert dyes == sorted(dyes)
+        assert dyes[0] > 0.0
+
+    def test_product_monotone_in_time(self):
+        cascade = trinder_cascade()
+        start = glucose_mix(3e-3)
+        dyes = [
+            cascade.simulate(start, t).get(Species.QUINONEIMINE, 0.0)
+            for t in (5.0, 15.0, 45.0)
+        ]
+        assert dyes == sorted(dyes)
+
+    def test_dt_convergence(self):
+        cascade = trinder_cascade()
+        start = glucose_mix(3e-3)
+        coarse = cascade.simulate(start, 30.0, dt=0.05)
+        fine = cascade.simulate(start, 30.0, dt=0.005)
+        assert coarse[Species.QUINONEIMINE] == pytest.approx(
+            fine[Species.QUINONEIMINE], rel=0.01
+        )
+
+    def test_input_not_mutated(self):
+        cascade = trinder_cascade()
+        start = glucose_mix(1e-3)
+        snapshot = dict(start)
+        cascade.simulate(start, 10.0)
+        assert start == snapshot
+
+    def test_zero_duration_identity(self):
+        cascade = trinder_cascade()
+        start = glucose_mix(1e-3)
+        assert cascade.simulate(start, 0.0) == start
+
+    def test_validation(self):
+        cascade = trinder_cascade()
+        with pytest.raises(AssayError):
+            cascade.simulate({}, duration=-1.0)
+        with pytest.raises(AssayError):
+            cascade.simulate({}, duration=1.0, dt=0.0)
+        with pytest.raises(AssayError):
+            ReactionCascade([])
+
+
+class TestDetection:
+    def test_beer_lambert_linear(self):
+        optics = BeerLambert()
+        assert optics.absorbance(2e-4) == pytest.approx(
+            2 * optics.absorbance(1e-4)
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e-2))
+    @settings(max_examples=40)
+    def test_beer_lambert_round_trip(self, c):
+        optics = BeerLambert()
+        assert optics.concentration(optics.absorbance(c)) == pytest.approx(c)
+
+    def test_ideal_photodiode_round_trip(self):
+        pd = Photodiode()
+        for a in (0.0, 0.1, 0.5, 1.5):
+            assert pd.absorbance_from(pd.transmitted(a)) == pytest.approx(a)
+
+    def test_noisy_photodiode_statistics(self):
+        pd = Photodiode(noise_fraction=0.01)
+        readings = [pd.transmitted(0.5, seed=s) for s in range(300)]
+        ideal = Photodiode().transmitted(0.5)
+        mean = sum(readings) / len(readings)
+        assert mean == pytest.approx(ideal, rel=0.005)
+
+    def test_detector_measures_quinoneimine_only(self):
+        detector = OpticalDetector()
+        a = detector.measure({Species.QUINONEIMINE: 1e-4, Species.GLUCOSE: 1.0})
+        b = detector.measure({Species.QUINONEIMINE: 1e-4})
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(AssayError):
+            BeerLambert(epsilon=-1.0)
+        with pytest.raises(AssayError):
+            BeerLambert().absorbance(-1e-3)
+        with pytest.raises(AssayError):
+            Photodiode().absorbance_from(0.0)
+
+
+class TestAssayLibrary:
+    def test_panel_covers_four_metabolites(self):
+        analytes = {spec.analyte for spec in PANEL}
+        assert analytes == {
+            Species.GLUCOSE,
+            Species.LACTATE,
+            Species.GLUTAMATE,
+            Species.PYRUVATE,
+        }
+
+    def test_lookup(self):
+        assert assay_by_analyte(Species.GLUCOSE) is GLUCOSE_ASSAY
+        with pytest.raises(AssayError):
+            assay_by_analyte("caffeine")
+
+    def test_reference_ranges_sane(self):
+        for spec in PANEL:
+            lo, hi = spec.reference_range
+            assert 0 < lo < hi < 0.05  # all under 50 mM
+
+    def test_reagents_include_oxidase_and_chromogens(self):
+        for spec in PANEL:
+            assert spec.oxidase in spec.reagent_contents
+            assert Species.PEROXIDASE in spec.reagent_contents
+            assert Species.AAP4 in spec.reagent_contents
+            assert Species.TOPS in spec.reagent_contents
+
+    def test_each_assay_produces_dye_in_range(self):
+        # Mid-reference-range sample must produce measurable color.
+        for spec in PANEL:
+            lo, hi = spec.reference_range
+            mid = (lo + hi) / 2
+            contents = {spec.analyte: mid / 2}
+            contents.update({k: v / 2 for k, v in spec.reagent_contents.items()})
+            final = spec.cascade.simulate(contents, 30.0)
+            assert final.get(Species.QUINONEIMINE, 0.0) > 1e-7
+
+    def test_in_reference_range(self):
+        lo, hi = GLUCOSE_ASSAY.reference_range
+        assert GLUCOSE_ASSAY.in_reference_range((lo + hi) / 2)
+        assert not GLUCOSE_ASSAY.in_reference_range(hi * 3)

@@ -1,0 +1,109 @@
+"""Tests for the CLI and the HTML design gallery."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.viz.gallery import gallery_html, write_gallery
+
+
+class TestGallery:
+    def test_contains_every_design(self):
+        page = gallery_html(size=10)
+        for name in (
+            "DTMB(1,6)",
+            "DTMB(2,6)",
+            "DTMB(2,6)alt",
+            "DTMB(3,6)",
+            "DTMB(4,4)",
+        ):
+            assert name in page
+
+    def test_embeds_svg_per_design(self):
+        page = gallery_html(size=10)
+        assert page.count("<svg") == 5
+
+    def test_write_gallery(self, tmp_path):
+        out = tmp_path / "gallery.html"
+        write_gallery(str(out), size=10)
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+
+
+class TestCliParser:
+    def test_all_experiment_subcommands_exist(self):
+        parser = build_parser()
+        for name in (
+            "table1",
+            "fig2",
+            "figs3to6",
+            "fig7",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablation-matching",
+            "ablation-defects",
+            "all",
+            "gallery",
+            "recommend",
+        ):
+            args = ["--target-yield", "0.9", "--p", "0.95"] if name == "recommend" else []
+            parsed = parser.parse_args([name] + args)
+            assert parsed.command == name
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCliExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DTMB(4,4)" in out
+        assert "1.0000" in out
+
+    def test_fig11_with_csv(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "fig11.csv")
+        assert main(["fig11", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "0.3378" in out
+        assert "wrote" in out
+        with open(csv_path) as handle:
+            assert handle.readline().startswith("p,")
+
+    def test_fig13_reduced_runs_with_chart(self, capsys):
+        assert main(["fig13", "--runs", "200", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out  # chart title present
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Module 3" in capsys.readouterr().out
+
+    def test_gallery(self, capsys, tmp_path):
+        out_file = str(tmp_path / "g.html")
+        assert main(["gallery", "--out", out_file, "--size", "10"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        code = main(
+            [
+                "recommend",
+                "--target-yield",
+                "0.5",
+                "--p",
+                "0.97",
+                "--n",
+                "60",
+                "--runs",
+                "400",
+            ]
+        )
+        assert code == 0
+        assert "recommended" in capsys.readouterr().out

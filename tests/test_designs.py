@@ -1,0 +1,191 @@
+"""Tests for the DTMB design catalog, builders and structural verification."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.designs.boundary import ModulePlacement, SpareRowArray
+from repro.designs.catalog import (
+    ALL_DESIGNS,
+    DTMB_1_6,
+    DTMB_2_6,
+    DTMB_2_6_ALT,
+    DTMB_3_6,
+    DTMB_4_4,
+    TABLE1_DESIGNS,
+    design_by_name,
+    table1_rows,
+)
+from repro.designs.interstitial import (
+    build_chip,
+    build_flower_chip,
+    build_with_primary_count,
+)
+from repro.designs.spec import DesignSpec
+from repro.designs.verify import inspect_structure, verify_design
+from repro.errors import DesignError
+from repro.geometry.hex import Hex
+from repro.geometry.hexgrid import RectRegion
+from repro.geometry.lattice import CongruenceLattice
+
+
+class TestCatalog:
+    def test_table1_redundancy_ratios(self):
+        rows = dict(table1_rows())
+        assert rows["DTMB(1,6)"] == Fraction(1, 6)
+        assert rows["DTMB(2,6)"] == Fraction(1, 3)
+        assert rows["DTMB(3,6)"] == Fraction(1, 2)
+        assert rows["DTMB(4,4)"] == Fraction(1, 1)
+
+    @pytest.mark.parametrize("spec", ALL_DESIGNS, ids=lambda s: s.name)
+    def test_density_consistent_with_sp(self, spec):
+        spec.consistency_check()
+
+    def test_lookup(self):
+        assert design_by_name("DTMB(2,6)") is DTMB_2_6
+        with pytest.raises(DesignError):
+            design_by_name("DTMB(9,9)")
+
+    def test_alt_layout_differs_from_primary(self):
+        # Same (s, p), different spare pattern.
+        a = DTMB_2_6.spare_lattice
+        b = DTMB_2_6_ALT.spare_lattice
+        window = [Hex(q, r) for q in range(4) for r in range(4)]
+        assert [h in a for h in window] != [h in b for h in window]
+
+
+class TestSpec:
+    def test_invalid_parameters_rejected(self):
+        lat = CongruenceLattice(1, 0, 2)
+        with pytest.raises(DesignError):
+            DesignSpec("bad", s=0, p=4, spare_lattice=lat)
+        with pytest.raises(DesignError):
+            DesignSpec("bad", s=1, p=7, spare_lattice=lat)
+
+    def test_inconsistent_density_detected(self):
+        # Claim (1, 6) with a density-1/2 lattice: RR mismatch.
+        wrong = DesignSpec(
+            "wrong", s=1, p=6, spare_lattice=CongruenceLattice(1, 0, 2)
+        )
+        with pytest.raises(DesignError):
+            wrong.consistency_check()
+
+
+class TestStructure:
+    @pytest.mark.parametrize("spec", ALL_DESIGNS, ids=lambda s: s.name)
+    def test_definition1_holds(self, spec):
+        chip = build_chip(spec, RectRegion(14, 14))
+        report = verify_design(spec, chip)
+        assert report.uniform_s() == spec.s
+        assert report.uniform_p() == spec.p
+
+    @pytest.mark.parametrize("spec", ALL_DESIGNS, ids=lambda s: s.name)
+    def test_coset_invariance(self, spec):
+        # Translated patterns are equally valid instances of the design.
+        chip = build_chip(spec, RectRegion(14, 14), offset=Hex(1, 1))
+        verify_design(spec, chip)
+
+    @pytest.mark.parametrize("spec", TABLE1_DESIGNS, ids=lambda s: s.name)
+    def test_finite_rr_approaches_asymptote(self, spec):
+        small = build_chip(spec, RectRegion(8, 8)).redundancy_ratio()
+        large = build_chip(spec, RectRegion(48, 48)).redundancy_ratio()
+        target = float(spec.redundancy_ratio)
+        assert abs(large - target) <= abs(small - target) + 1e-9
+        assert large == pytest.approx(target, abs=0.02)
+
+    def test_too_small_array_rejected(self):
+        chip = build_chip(DTMB_1_6, RectRegion(3, 3))
+        with pytest.raises(DesignError):
+            verify_design(DTMB_1_6, chip)
+
+    def test_inspect_structure_histograms(self):
+        chip = build_chip(DTMB_4_4, RectRegion(10, 10))
+        report = inspect_structure(chip)
+        assert set(report.interior_primary_spare_degrees) == {4}
+        assert set(report.interior_spare_primary_degrees) == {4}
+        assert report.primary_count + report.spare_count == len(chip)
+
+
+class TestPrimaryCountFits:
+    @pytest.mark.parametrize("spec", TABLE1_DESIGNS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("n", [60, 100, 240])
+    def test_exact_primary_count(self, spec, n):
+        fit = build_with_primary_count(spec, n)
+        chip = fit.build()
+        assert chip.primary_count == n
+        assert chip.spare_count == fit.spare_count > 0
+
+    def test_deterministic(self):
+        a = build_with_primary_count(DTMB_2_6, 100)
+        b = build_with_primary_count(DTMB_2_6, 100)
+        assert (a.cols, a.rows, a.offset) == (b.cols, b.rows, b.offset)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DesignError):
+            build_with_primary_count(DTMB_2_6, 0)
+
+    def test_impossible_count_raises(self):
+        with pytest.raises(DesignError):
+            build_with_primary_count(DTMB_2_6, 61, max_dim=4)
+
+
+class TestFlowerChip:
+    def test_counts(self):
+        chip = build_flower_chip(60)
+        assert chip.primary_count == 60
+        assert chip.spare_count == 10
+
+    def test_every_primary_has_exactly_one_spare(self):
+        chip = build_flower_chip(36)
+        for cell in chip.primaries():
+            assert len(chip.adjacent_spares(cell.coord)) == 1
+
+    def test_spares_serve_six_primaries(self):
+        chip = build_flower_chip(36)
+        for cell in chip.spares():
+            assert len(chip.adjacent_primaries(cell.coord)) == 6
+
+    def test_requires_multiple_of_six(self):
+        with pytest.raises(DesignError):
+            build_flower_chip(10)
+        with pytest.raises(DesignError):
+            build_flower_chip(0)
+
+
+class TestSpareRowArray:
+    def test_uniform_construction(self):
+        array = SpareRowArray.uniform(6, [2, 2, 2])
+        assert array.spare_row == 6
+        assert array.rows == 7
+        assert [m.name for m in array.modules] == [
+            "Module 3",
+            "Module 2",
+            "Module 1",
+        ]
+
+    def test_modules_must_tile(self):
+        with pytest.raises(DesignError):
+            SpareRowArray(4, [ModulePlacement("A", 0, 2), ModulePlacement("B", 3, 4)])
+
+    def test_module_of_row(self):
+        array = SpareRowArray.uniform(4, [2, 3])
+        assert array.module_of_row(0).name == "Module 2"
+        assert array.module_of_row(4).name == "Module 1"
+        with pytest.raises(DesignError):
+            array.module_of_row(5)  # spare row belongs to no module
+
+    def test_module_cells(self):
+        array = SpareRowArray.uniform(3, [1, 1])
+        first = array.modules[0]
+        assert len(array.module_cells(first)) == 3
+
+    def test_distance_to_spare_row(self):
+        array = SpareRowArray.uniform(4, [2, 2])
+        assert array.distance_to_spare_row(0) == 4
+        assert array.distance_to_spare_row(4) == 0
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(DesignError):
+            ModulePlacement("empty", 2, 2)

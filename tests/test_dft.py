@@ -1,0 +1,181 @@
+"""Tests for traversal planning, structural testing and fault diagnosis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chip.builders import plain_chip
+from repro.dft.concurrent import concurrent_test
+from repro.dft.diagnosis import diagnose
+from repro.dft.testing import run_route, test_chip as full_chip_test
+from repro.dft.traversal import partial_plans, snake_plan, validate_plan
+from repro.errors import TestPlanError as PlanError
+from repro.geometry.hexgrid import RectRegion, offset_to_axial
+
+
+@pytest.fixture
+def region():
+    return RectRegion(8, 6)
+
+
+@pytest.fixture
+def chip(region):
+    return plain_chip(region)
+
+
+class TestSnakePlan:
+    @pytest.mark.parametrize("cols,rows", [(2, 2), (5, 3), (8, 6), (12, 9)])
+    def test_snake_is_valid_hamiltonian(self, cols, rows):
+        region = RectRegion(cols, rows)
+        chip = plain_chip(region)
+        plan = snake_plan(region)
+        validate_plan(chip, plan)  # adjacency + coverage
+        assert len(plan) == len(chip)
+        assert len(set(plan)) == len(plan)  # visits each cell once
+
+    def test_validate_rejects_gap(self, chip, region):
+        plan = snake_plan(region)
+        broken = plan[:3] + plan[4:]  # skip one cell: adjacency breaks
+        with pytest.raises(PlanError):
+            validate_plan(chip, broken)
+
+    def test_validate_rejects_missing_coverage(self, chip, region):
+        plan = snake_plan(region)
+        with pytest.raises(PlanError):
+            validate_plan(chip, plan[:-1])
+
+    def test_validate_rejects_off_chip_cells(self, chip, region):
+        plan = snake_plan(RectRegion(10, 10))
+        with pytest.raises(PlanError):
+            validate_plan(chip, plan)
+
+    def test_partial_plans_cover_everything(self, region):
+        plan = snake_plan(region)
+        for pieces in (1, 2, 3, 5):
+            parts = partial_plans(plan, pieces)
+            assert len(parts) == pieces
+            covered = set().union(*(set(p) for p in parts))
+            assert covered == set(plan)
+
+    def test_partial_plans_validation(self, region):
+        plan = snake_plan(region)
+        with pytest.raises(PlanError):
+            partial_plans(plan, 0)
+        with pytest.raises(PlanError):
+            partial_plans(plan, len(plan) + 1)
+
+
+class TestRunRoute:
+    def test_clean_chip_passes(self, chip, region):
+        outcome = full_chip_test(chip, snake_plan(region))
+        assert outcome.passed
+        assert outcome.stuck_at is None
+
+    def test_fault_stops_droplet(self, chip, region):
+        plan = snake_plan(region)
+        chip.mark_faulty(plan[10])
+        outcome = full_chip_test(chip, plan)
+        assert not outcome.passed
+        assert outcome.stuck_at == plan[10]
+        assert outcome.cells_traversed == 9
+
+    def test_faulty_source_detected(self, chip, region):
+        plan = snake_plan(region)
+        chip.mark_faulty(plan[0])
+        outcome = full_chip_test(chip, plan)
+        assert not outcome.passed
+        assert outcome.cells_traversed == 0
+
+    def test_non_adjacent_route_rejected(self, chip):
+        with pytest.raises(PlanError):
+            run_route(chip, [offset_to_axial(0, 0), offset_to_axial(5, 5)])
+
+    def test_empty_route_rejected(self, chip):
+        with pytest.raises(PlanError):
+            run_route(chip, [])
+
+
+class TestDiagnosis:
+    def test_single_fault_located(self, chip, region):
+        plan = snake_plan(region)
+        target = plan[17]
+        chip.mark_faulty(target)
+        report = diagnose(chip, plan)
+        assert report.located == [target]
+        assert report.complete
+
+    def test_probe_count_logarithmic(self, chip, region):
+        plan = snake_plan(region)
+        chip.mark_faulty(plan[20])
+        report = diagnose(chip, plan)
+        # 1 failing full probe + ~log2(len) bisection probes + cleanup.
+        assert report.probes <= 2 * int(np.ceil(np.log2(len(plan)))) + 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_multiple_faults_located(self, seed):
+        region = RectRegion(9, 7)
+        chip = plain_chip(region)
+        plan = snake_plan(region)
+        rng = np.random.default_rng(seed)
+        # Keep the source good; pick 4 distinct victims elsewhere.
+        victims = [plan[i] for i in rng.choice(range(1, len(plan)), 4, replace=False)]
+        for v in victims:
+            chip.mark_faulty(v)
+        report = diagnose(chip, plan)
+        assert set(report.located) == set(victims)
+
+    def test_no_faults_one_probe(self, chip, region):
+        plan = snake_plan(region)
+        report = diagnose(chip, plan)
+        assert report.located == []
+        assert report.probes == 1
+        assert report.complete
+
+    def test_faulty_source_rejected(self, chip, region):
+        plan = snake_plan(region)
+        chip.mark_faulty(plan[0])
+        with pytest.raises(PlanError):
+            diagnose(chip, plan)
+
+    def test_diagnosis_feeds_repair(self):
+        # End-to-end: diagnose then verify the located faults equal the
+        # injected ones, the input to plan_local_repair.
+        from repro.designs.catalog import DTMB_2_6
+        from repro.designs.interstitial import build_chip
+        from repro.dft.traversal import snake_plan as sp
+
+        region = RectRegion(10, 10)
+        chip = build_chip(DTMB_2_6, region)
+        plan = sp(region)
+        victims = [plan[13], plan[47]]
+        for v in victims:
+            chip.mark_faulty(v)
+        report = diagnose(chip, plan)
+        assert set(report.located) == set(victims)
+
+
+class TestConcurrentTest:
+    def test_speedup_with_more_droplets(self, chip, region):
+        plan = snake_plan(region)
+        single = concurrent_test(chip, plan, 1)
+        double = concurrent_test(chip, plan, 2)
+        assert single.passed and double.passed
+        assert double.steps < single.steps
+        assert double.speedup_vs_single > 1.2
+
+    def test_detects_fault(self, chip, region):
+        plan = snake_plan(region)
+        chip.mark_faulty(plan[len(plan) // 2])
+        result = concurrent_test(chip, plan, 2)
+        assert not result.passed
+
+    def test_conflicting_partition_rejected(self, chip, region):
+        plan = snake_plan(region)
+        # With as many droplets as cells they start adjacent: must raise.
+        with pytest.raises(PlanError):
+            concurrent_test(chip, plan, len(plan) // 2)
+
+    def test_droplet_count_validation(self, chip, region):
+        with pytest.raises(PlanError):
+            concurrent_test(chip, snake_plan(region), 0)

@@ -1,0 +1,108 @@
+"""Tests for the maintenance loop (test → diagnose → repair → certify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip.builders import plain_chip
+from repro.designs.catalog import DTMB_2_6
+from repro.designs.interstitial import build_chip, build_flower_chip
+from repro.dft.maintenance import maintain
+from repro.dft.traversal import snake_plan
+from repro.errors import TestPlanError
+from repro.geometry.hexgrid import RectRegion
+
+
+@pytest.fixture
+def region():
+    return RectRegion(10, 10)
+
+
+@pytest.fixture
+def chip(region):
+    return build_chip(DTMB_2_6, region)
+
+
+class TestHealthyChip:
+    def test_single_probe_certifies(self, chip, region):
+        report = maintain(chip, region=region)
+        assert report.usable
+        assert report.probes == 1
+        assert report.faults_located == ()
+        assert report.remap is None
+        assert "certified good" in report.format_report()
+
+
+class TestFaultyRepairableChip:
+    def test_full_cycle(self, chip, region):
+        plan = snake_plan(region)
+        victims = [plan[25], plan[60]]
+        for v in victims:
+            chip.mark_faulty(v)
+        report = maintain(chip, region=region)
+        assert set(report.faults_located) == set(victims)
+        assert report.probes > 1
+        assert report.droplet_moves > 0
+        faulty_primaries = {c.coord for c in chip.faulty_primaries()}
+        if report.repair.complete:
+            assert report.usable
+            if faulty_primaries:
+                assert report.remap is not None
+                assert report.remap.remapped_count == len(faulty_primaries)
+
+    def test_needed_subset_ignores_unused_faults(self, chip, region):
+        plan = snake_plan(region)
+        primaries = [c.coord for c in chip.primaries()]
+        needed = primaries[:10]
+        # Fault on a primary outside the needed set but not on the source.
+        victim = next(
+            p for p in primaries[10:] if p != plan[0]
+        )
+        chip.mark_faulty(victim)
+        report = maintain(chip, region=region, needed=needed)
+        assert report.usable
+        assert report.repair.spares_used == 0
+
+
+class TestIrreparableChip:
+    def test_reported_not_usable(self, region):
+        # DTMB(1,6) flower contention: two primaries sharing one spare.
+        chip = build_flower_chip(12)
+        spare = chip.spares()[0].coord
+        victims = [c.coord for c in chip.adjacent_primaries(spare)][:2]
+        for v in victims:
+            chip.mark_faulty(v)
+        # Flower chips are irregular; build an explicit plan via a snake
+        # over a covering rectangle is not possible, so test through the
+        # repair phase directly with an explicit traversal.
+        from repro.reconfig.local import plan_local_repair
+
+        plan = plan_local_repair(chip)
+        assert not plan.complete
+
+    def test_irreparable_through_maintain(self, region):
+        chip = build_chip(DTMB_2_6, region)
+        plan = snake_plan(region)
+        # Kill one interior primary and both of its spares.
+        victim = next(
+            c.coord
+            for c in chip.primaries()
+            if len(chip.adjacent_spares(c.coord)) == 2 and c.coord != plan[0]
+        )
+        chip.mark_faulty(victim)
+        for spare in chip.adjacent_spares(victim):
+            chip.mark_faulty(spare.coord)
+        report = maintain(chip, region=region)
+        assert not report.usable
+        assert report.remap is None
+        assert "IRREPARABLE" in report.format_report()
+
+
+class TestValidation:
+    def test_needs_plan_or_region(self, chip):
+        with pytest.raises(TestPlanError):
+            maintain(chip)
+
+    def test_plan_must_cover_chip(self, chip):
+        with pytest.raises(TestPlanError):
+            maintain(chip, plan=snake_plan(RectRegion(3, 3)))

@@ -1,0 +1,51 @@
+"""Tests for the design-targeting experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import design_targeting
+
+
+@pytest.fixture(scope="module")
+def result():
+    return design_targeting.run(
+        n=60,
+        targets=(0.50, 0.90),
+        ps=(0.93, 0.99),
+        runs=800,
+        seed=11,
+    )
+
+
+class TestTargeting:
+    def test_grid_complete(self, result):
+        for p in result.ps:
+            for target in result.targets:
+                assert result.choice(p, target) in (
+                    "DTMB(1,6)",
+                    "DTMB(2,6)",
+                    "DTMB(3,6)",
+                    "DTMB(4,4)",
+                    "-",
+                )
+
+    def test_easy_corner_is_cheap(self, result):
+        assert result.choice(0.99, 0.50) == "DTMB(1,6)"
+
+    def test_harder_targets_never_cheaper(self, result):
+        order = {
+            "DTMB(1,6)": 0,
+            "DTMB(2,6)": 1,
+            "DTMB(3,6)": 2,
+            "DTMB(4,4)": 3,
+            "-": 4,
+        }
+        for p in result.ps:
+            ranks = [order[result.choice(p, t)] for t in result.targets]
+            assert ranks == sorted(ranks)
+
+    def test_report_renders(self, result):
+        text = result.format_report()
+        assert "Y>=0.90" in text
+        assert "0.93" in text

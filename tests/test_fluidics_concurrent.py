@@ -1,0 +1,172 @@
+"""Tests for time-expanded concurrent droplet routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip.builders import plain_chip
+from repro.errors import RoutingError
+from repro.fluidics.concurrent_routing import (
+    ConcurrentPlan,
+    ConcurrentRouter,
+    RouteRequest,
+)
+from repro.geometry.hexgrid import RectRegion, offset_to_axial
+
+
+@pytest.fixture
+def chip():
+    return plain_chip(RectRegion(10, 10))
+
+
+@pytest.fixture
+def router(chip):
+    return ConcurrentRouter(chip)
+
+
+def assert_plan_legal(chip, plan: ConcurrentPlan):
+    """Validate every DMFB routing constraint on the finished plan."""
+    names = list(plan.trajectories)
+    horizon = plan.makespan
+    for name, traj in plan.trajectories.items():
+        for a, b in zip(traj, traj[1:]):
+            assert a == b or b in chip.neighbors(a), (name, a, b)
+    for t in range(horizon + 1):
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                pa, pb = plan.position(a, t), plan.position(b, t)
+                # static constraint
+                assert pa != pb and pb not in chip.neighbors(pa), (t, a, b)
+                if t > 0:
+                    # dynamic constraint vs the other droplet's previous cell
+                    prev_b = plan.position(b, t - 1)
+                    prev_a = plan.position(a, t - 1)
+                    assert pa != prev_b and prev_b not in chip.neighbors(pa)
+                    assert pb != prev_a and prev_a not in chip.neighbors(pb)
+
+
+class TestTwoDroplets:
+    def test_parallel_routes(self, chip, router):
+        requests = [
+            RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(9, 0)),
+            RouteRequest("b", offset_to_axial(0, 9), offset_to_axial(9, 9)),
+        ]
+        plan = router.plan(requests)
+        assert plan.position("a", plan.makespan) == offset_to_axial(9, 0)
+        assert plan.position("b", plan.makespan) == offset_to_axial(9, 9)
+        assert_plan_legal(chip, plan)
+
+    def test_crossing_routes(self, chip, router):
+        # a goes west->east, b goes north->south: paths must interleave.
+        requests = [
+            RouteRequest("a", offset_to_axial(0, 5), offset_to_axial(9, 5)),
+            RouteRequest("b", offset_to_axial(5, 0), offset_to_axial(5, 9)),
+        ]
+        plan = router.plan(requests)
+        assert_plan_legal(chip, plan)
+
+    def test_swap_positions(self, chip, router):
+        # The classic hard case: two droplets exchanging distant corners.
+        requests = [
+            RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(9, 9)),
+            RouteRequest("b", offset_to_axial(9, 9), offset_to_axial(0, 0)),
+        ]
+        plan = router.plan(requests)
+        assert_plan_legal(chip, plan)
+
+    def test_makespan_close_to_lower_bound(self, chip, router):
+        src_a, dst_a = offset_to_axial(0, 0), offset_to_axial(9, 0)
+        src_b, dst_b = offset_to_axial(0, 9), offset_to_axial(9, 9)
+        plan = router.plan(
+            [RouteRequest("a", src_a, dst_a), RouteRequest("b", src_b, dst_b)]
+        )
+        bound = max(src_a.distance(dst_a), src_b.distance(dst_b))
+        assert plan.makespan <= bound + 6  # small detour allowance
+
+
+class TestThreeDroplets:
+    def test_three_way(self, chip, router):
+        requests = [
+            RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(9, 9)),
+            RouteRequest("b", offset_to_axial(9, 0), offset_to_axial(0, 9)),
+            RouteRequest("c", offset_to_axial(0, 5), offset_to_axial(9, 4)),
+        ]
+        plan = router.plan(requests)
+        assert_plan_legal(chip, plan)
+        assert plan.total_moves() >= sum(
+            r.source.distance(r.target) for r in requests
+        )
+
+
+class TestFaultAvoidance:
+    def test_routes_around_fault_wall_gap(self):
+        chip = plain_chip(RectRegion(10, 10))
+        # Wall across row 5 with one gap at column 7.
+        for col in range(10):
+            if col != 7:
+                chip.mark_faulty(offset_to_axial(col, 5))
+        router = ConcurrentRouter(chip)
+        requests = [
+            RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(0, 9)),
+            RouteRequest("b", offset_to_axial(9, 0), offset_to_axial(9, 9)),
+        ]
+        plan = router.plan(requests)
+        assert_plan_legal(chip, plan)
+        # Both trajectories funnel through the single gap.
+        gap = offset_to_axial(7, 5)
+        for name in ("a", "b"):
+            assert gap in plan.trajectories[name]
+
+
+class TestValidation:
+    def test_adjacent_sources_rejected(self, router):
+        with pytest.raises(RoutingError):
+            router.plan(
+                [
+                    RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(5, 5)),
+                    RouteRequest("b", offset_to_axial(1, 0), offset_to_axial(8, 8)),
+                ]
+            )
+
+    def test_adjacent_targets_rejected(self, router):
+        with pytest.raises(RoutingError):
+            router.plan(
+                [
+                    RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(5, 5)),
+                    RouteRequest("b", offset_to_axial(9, 9), offset_to_axial(5, 6)),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self, router):
+        with pytest.raises(RoutingError):
+            router.plan(
+                [
+                    RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(3, 3)),
+                    RouteRequest("a", offset_to_axial(9, 9), offset_to_axial(6, 6)),
+                ]
+            )
+
+    def test_empty_requests_rejected(self, router):
+        with pytest.raises(RoutingError):
+            router.plan([])
+
+    def test_unusable_endpoint_rejected(self, chip):
+        chip.mark_faulty(offset_to_axial(0, 0))
+        router = ConcurrentRouter(chip)
+        with pytest.raises(RoutingError):
+            router.plan(
+                [RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(5, 5))]
+            )
+
+    def test_impossible_instance_raises(self):
+        # A 1-wide corridor cannot host two swapping droplets.
+        chip = plain_chip(RectRegion(6, 1))
+        router = ConcurrentRouter(chip)
+        with pytest.raises(RoutingError):
+            router.plan(
+                [
+                    RouteRequest("a", offset_to_axial(0, 0), offset_to_axial(5, 0)),
+                    RouteRequest("b", offset_to_axial(5, 0), offset_to_axial(0, 0)),
+                ],
+                horizon=40,
+            )

@@ -1,0 +1,232 @@
+"""Unit and property tests for axial hex coordinates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.hex import (
+    DIRECTION_NAMES,
+    HEX_DIRECTIONS,
+    Hex,
+    axial_to_pixel,
+    hex_disk,
+    hex_distance,
+    hex_line,
+    hex_ring,
+    hex_round,
+    hex_spiral,
+    pixel_to_axial,
+)
+
+coords = st.integers(min_value=-50, max_value=50)
+hexes = st.builds(Hex, coords, coords)
+
+
+class TestBasics:
+    def test_cube_invariant(self):
+        h = Hex(3, -5)
+        assert h.q + h.r + h.s == 0
+        assert h.cube == (3, -5, 2)
+
+    def test_from_cube_checks_sum(self):
+        assert Hex.from_cube(1, 2, -3) == Hex(1, 2)
+        with pytest.raises(GeometryError):
+            Hex.from_cube(1, 2, 3)
+
+    def test_six_distinct_directions(self):
+        assert len(set(HEX_DIRECTIONS)) == 6
+        assert len(DIRECTION_NAMES) == 6
+
+    def test_directions_sum_to_zero(self):
+        total = Hex(0, 0)
+        for dq, dr in HEX_DIRECTIONS:
+            total = total + Hex(dq, dr)
+        assert total == Hex(0, 0)
+
+    def test_neighbors_are_distance_one(self):
+        center = Hex(4, -2)
+        for neighbor in center.neighbors():
+            assert center.distance(neighbor) == 1
+            assert center.is_adjacent(neighbor)
+
+    def test_neighbor_by_direction_wraps(self):
+        h = Hex(0, 0)
+        assert h.neighbor(0) == h.neighbor(6)
+        assert h.neighbor(-1) == h.neighbor(5)
+
+    def test_scalar_multiplication_requires_int(self):
+        with pytest.raises(GeometryError):
+            Hex(1, 1) * 1.5
+
+    def test_ordering_is_lexicographic(self):
+        assert sorted([Hex(1, 0), Hex(0, 5), Hex(0, 1)]) == [
+            Hex(0, 1),
+            Hex(0, 5),
+            Hex(1, 0),
+        ]
+
+
+class TestArithmeticProperties:
+    @given(hexes, hexes)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(hexes, hexes)
+    def test_subtraction_inverts_addition(self, a, b):
+        assert (a + b) - b == a
+
+    @given(hexes)
+    def test_negation(self, a):
+        assert a + (-a) == Hex(0, 0)
+
+    @given(hexes, st.integers(min_value=-5, max_value=5))
+    def test_scalar_distributes(self, a, k):
+        assert a * k == Hex(a.q * k, a.r * k)
+        assert k * a == a * k
+
+
+class TestMetricProperties:
+    @given(hexes, hexes)
+    def test_symmetry(self, a, b):
+        assert hex_distance(a, b) == hex_distance(b, a)
+
+    @given(hexes, hexes)
+    def test_identity(self, a, b):
+        assert (hex_distance(a, b) == 0) == (a == b)
+
+    @given(hexes, hexes, hexes)
+    def test_triangle_inequality(self, a, b, c):
+        assert hex_distance(a, c) <= hex_distance(a, b) + hex_distance(b, c)
+
+    @given(hexes, hexes)
+    def test_translation_invariance(self, a, b):
+        offset = Hex(7, -3)
+        assert hex_distance(a + offset, b + offset) == hex_distance(a, b)
+
+    @given(hexes)
+    def test_length_is_distance_from_origin(self, a):
+        assert a.length() == hex_distance(a, Hex(0, 0))
+
+
+class TestRings:
+    def test_ring_zero_is_center(self):
+        assert hex_ring(Hex(2, 2), 0) == [Hex(2, 2)]
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 5])
+    def test_ring_size(self, radius):
+        ring = hex_ring(Hex(0, 0), radius)
+        assert len(ring) == 6 * radius
+        assert len(set(ring)) == len(ring)
+
+    @pytest.mark.parametrize("radius", [1, 2, 4])
+    def test_ring_cells_at_exact_distance(self, radius):
+        center = Hex(-1, 3)
+        for cell in hex_ring(center, radius):
+            assert hex_distance(center, cell) == radius
+
+    def test_ring_consecutive_cells_adjacent(self):
+        ring = hex_ring(Hex(0, 0), 3)
+        for a, b in zip(ring, ring[1:]):
+            assert hex_distance(a, b) == 1
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            hex_ring(Hex(0, 0), -1)
+
+
+class TestDisksAndSpirals:
+    @pytest.mark.parametrize("radius", [0, 1, 2, 4])
+    def test_disk_size_formula(self, radius):
+        disk = hex_disk(Hex(0, 0), radius)
+        assert len(disk) == 3 * radius * (radius + 1) + 1
+
+    @pytest.mark.parametrize("radius", [0, 1, 3])
+    def test_spiral_equals_disk_as_set(self, radius):
+        center = Hex(2, -1)
+        assert set(hex_spiral(center, radius)) == set(hex_disk(center, radius))
+
+    def test_spiral_ordered_by_ring(self):
+        spiral = hex_spiral(Hex(0, 0), 3)
+        distances = [h.length() for h in spiral]
+        assert distances == sorted(distances)
+
+    def test_disk_membership_iff_within_radius(self):
+        center = Hex(1, 1)
+        disk = set(hex_disk(center, 2))
+        for h in hex_disk(center, 3):
+            assert (h in disk) == (hex_distance(center, h) <= 2)
+
+
+class TestLines:
+    @given(hexes, hexes)
+    @settings(max_examples=60)
+    def test_line_endpoints_and_length(self, a, b):
+        line = hex_line(a, b)
+        assert line[0] == a
+        assert line[-1] == b
+        assert len(line) == hex_distance(a, b) + 1
+
+    @given(hexes, hexes)
+    @settings(max_examples=60)
+    def test_line_steps_are_adjacent(self, a, b):
+        line = hex_line(a, b)
+        for u, v in zip(line, line[1:]):
+            assert hex_distance(u, v) == 1
+
+
+class TestSymmetry:
+    def test_rotate60_six_times_is_identity(self):
+        h = Hex(3, -1)
+        assert h.rotate60(6) == h
+
+    def test_rotate60_preserves_length(self):
+        h = Hex(4, -2)
+        for k in range(6):
+            assert h.rotate60(k).length() == h.length()
+
+    def test_ring_closed_under_rotation(self):
+        ring = set(hex_ring(Hex(0, 0), 2))
+        assert {h.rotate60() for h in ring} == ring
+
+    def test_reflection_is_involution(self):
+        h = Hex(5, -2)
+        assert h.reflect_q().reflect_q() == h
+
+
+class TestPixelConversion:
+    @given(hexes)
+    def test_round_trip(self, h):
+        x, y = axial_to_pixel(h, size=10.0)
+        assert pixel_to_axial(x, y, size=10.0) == h
+
+    def test_neighbor_pixel_distance_constant(self):
+        # Adjacent hexagons are exactly sqrt(3)*size apart (pointy-top).
+        size = 2.0
+        x0, y0 = axial_to_pixel(Hex(0, 0), size)
+        for n in Hex(0, 0).neighbors():
+            x, y = axial_to_pixel(n, size)
+            assert math.hypot(x - x0, y - y0) == pytest.approx(
+                math.sqrt(3.0) * size
+            )
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(GeometryError):
+            pixel_to_axial(0.0, 0.0, size=0.0)
+
+
+class TestRounding:
+    def test_round_exact_lattice_point(self):
+        assert hex_round(2.0, -3.0) == Hex(2, -3)
+
+    @given(hexes, st.floats(min_value=-0.3, max_value=0.3),
+           st.floats(min_value=-0.3, max_value=0.3))
+    @settings(max_examples=60)
+    def test_round_small_perturbations(self, h, dq, dr):
+        # Perturbations well inside the cell never change the rounding.
+        if abs(dq) + abs(dr) < 0.45:
+            assert hex_round(h.q + dq, h.r + dr) == h

@@ -1,0 +1,158 @@
+"""Tests for finite hex regions and offset-coordinate conversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.hex import Hex
+from repro.geometry.hexgrid import (
+    FrozenRegion,
+    HexagonRegion,
+    ParallelogramRegion,
+    RectRegion,
+    axial_to_offset,
+    offset_to_axial,
+)
+
+
+class TestOffsetConversion:
+    @given(st.integers(-40, 40), st.integers(-40, 40))
+    def test_round_trip(self, col, row):
+        assert axial_to_offset(offset_to_axial(col, row)) == (col, row)
+
+    @given(st.builds(Hex, st.integers(-40, 40), st.integers(-40, 40)))
+    def test_round_trip_from_axial(self, h):
+        col, row = axial_to_offset(h)
+        assert offset_to_axial(col, row) == h
+
+    def test_same_row_neighbors_adjacent(self):
+        # Cells (c, r) and (c+1, r) are always east/west neighbors.
+        for row in range(4):
+            a = offset_to_axial(2, row)
+            b = offset_to_axial(3, row)
+            assert a.distance(b) == 1
+
+    def test_vertical_neighbors_adjacent(self):
+        # In odd-r layout, (c, r) and (c, r+1) are always adjacent — the
+        # property the DFT snake plan relies on.
+        for col in range(4):
+            for row in range(5):
+                a = offset_to_axial(col, row)
+                b = offset_to_axial(col, row + 1)
+                assert a.distance(b) == 1
+
+
+class TestRectRegion:
+    def test_size(self):
+        assert len(RectRegion(7, 5)) == 35
+
+    def test_membership(self):
+        region = RectRegion(4, 4)
+        assert region.cell_at(0, 0) in region
+        assert region.cell_at(3, 3) in region
+        assert Hex(100, 100) not in region
+
+    def test_cell_at_bounds(self):
+        region = RectRegion(4, 4)
+        with pytest.raises(GeometryError):
+            region.cell_at(4, 0)
+        with pytest.raises(GeometryError):
+            region.cell_at(0, -1)
+
+    def test_rows_of_cells_shape(self):
+        region = RectRegion(6, 3)
+        rows = region.rows_of_cells()
+        assert len(rows) == 3
+        assert all(len(r) == 6 for r in rows)
+
+    def test_connected(self):
+        assert RectRegion(5, 5).is_connected()
+
+    def test_interior_plus_boundary_partition(self):
+        region = RectRegion(8, 8)
+        interior = set(region.interior())
+        boundary = set(region.boundary())
+        assert interior | boundary == set(region.cells)
+        assert not interior & boundary
+
+    def test_interior_cells_have_six_neighbors(self):
+        region = RectRegion(8, 8)
+        for cell in region.interior():
+            assert region.degree(cell) == 6
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            RectRegion(0, 5)
+
+    def test_is_boundary_raises_for_outside_cell(self):
+        with pytest.raises(GeometryError):
+            RectRegion(3, 3).is_boundary(Hex(50, 50))
+
+
+class TestParallelogramRegion:
+    def test_size_and_membership(self):
+        region = ParallelogramRegion(4, 3, q0=-1, r0=2)
+        assert len(region) == 12
+        assert Hex(-1, 2) in region
+        assert Hex(3, 2) not in region
+
+    def test_connected(self):
+        assert ParallelogramRegion(6, 2).is_connected()
+
+
+class TestHexagonRegion:
+    @pytest.mark.parametrize("radius,expected", [(0, 1), (1, 7), (2, 19), (3, 37)])
+    def test_size_formula(self, radius, expected):
+        assert len(HexagonRegion(radius)) == expected
+
+    def test_centered_elsewhere(self):
+        region = HexagonRegion(1, center=Hex(5, 5))
+        assert Hex(5, 5) in region
+        assert Hex(0, 0) not in region
+
+    def test_boundary_is_outer_ring(self):
+        region = HexagonRegion(2)
+        assert len(region.boundary()) == 12  # ring of radius 2
+
+
+class TestSetAlgebra:
+    def test_union_and_intersection(self):
+        a = RectRegion(3, 3)
+        b = HexagonRegion(1, center=Hex(1, 1))
+        union = a.union(b)
+        inter = a.intersection(b)
+        assert set(inter.cells) <= set(union.cells)
+        assert len(union) <= len(a) + len(b)
+
+    def test_difference(self):
+        a = RectRegion(4, 4)
+        b = RectRegion(2, 2)
+        diff = a.difference(b)
+        assert len(diff) == len(a) - len(b)
+        assert all(c not in b for c in diff)
+
+    def test_empty_results_rejected(self):
+        a = RectRegion(2, 2)
+        with pytest.raises(GeometryError):
+            a.difference(a)
+        far = FrozenRegion([Hex(100, 100)])
+        with pytest.raises(GeometryError):
+            a.intersection(far)
+
+    def test_translation_preserves_size_and_shape(self):
+        a = HexagonRegion(2)
+        moved = a.translated(Hex(10, -4))
+        assert len(moved) == len(a)
+        assert Hex(10, -4) in moved
+
+    def test_equality_is_set_equality(self):
+        a = RectRegion(2, 2)
+        b = FrozenRegion(a.cells)
+        assert a == b
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(GeometryError):
+            FrozenRegion([])

@@ -1,0 +1,61 @@
+"""Public-API surface checks: exports exist, subpackages import cleanly."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.chip",
+    "repro.designs",
+    "repro.faults",
+    "repro.reconfig",
+    "repro.yieldsim",
+    "repro.fluidics",
+    "repro.dft",
+    "repro.assays",
+    "repro.viz",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy_rooted():
+    import repro.errors as errors
+
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError) or exc is errors.ReproError
+
+
+def test_layering_no_upward_imports():
+    # The geometry substrate must not depend on anything above it.
+    import repro.geometry.hex as hexmod
+    import repro.geometry.hexgrid as gridmod
+
+    for module in (hexmod, gridmod):
+        source = open(module.__file__).read()
+        for upper in ("repro.chip", "repro.designs", "repro.reconfig",
+                      "repro.yieldsim", "repro.fluidics", "repro.assays"):
+            assert upper not in source, f"{module.__name__} imports {upper}"

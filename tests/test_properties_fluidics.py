@@ -1,0 +1,102 @@
+"""Property-based tests of fluidics invariants under random protocols."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip.builders import plain_chip
+from repro.errors import FluidicsError, RoutingError, SchedulingError
+from repro.fluidics.controller import ElectrodeController
+from repro.fluidics.droplet import Droplet
+from repro.fluidics.operations import Detect, Discard, Dispense, Mix, Transport
+from repro.fluidics.scheduler import Scheduler
+from repro.geometry.hexgrid import RectRegion, offset_to_axial
+
+CELLS = [(c, r) for c in range(9) for r in range(9)]
+
+
+def far_apart(a, b, min_distance=3):
+    ha, hb = offset_to_axial(*a), offset_to_axial(*b)
+    return ha.distance(hb) >= min_distance
+
+
+@st.composite
+def transport_scenarios(draw):
+    """A dispense cell, a destination, and a parked obstacle, all spaced."""
+    src = draw(st.sampled_from(CELLS))
+    dst = draw(st.sampled_from(CELLS))
+    obstacle = draw(st.sampled_from(CELLS))
+    return (src, dst, obstacle)
+
+
+class TestTransportProperties:
+    @given(transport_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_transport_always_arrives_or_raises(self, scenario):
+        src, dst, obstacle = scenario
+        if not (far_apart(src, obstacle) and far_apart(dst, obstacle)
+                and far_apart(src, dst, 1)):
+            return
+        chip = plain_chip(RectRegion(9, 9))
+        scheduler = Scheduler(ElectrodeController(chip))
+        ops = [
+            Dispense("obstacle", offset_to_axial(*obstacle)),
+            Dispense("mover", offset_to_axial(*src)),
+            Transport("mover", offset_to_axial(*dst)),
+        ]
+        try:
+            scheduler.run(ops)
+        except (SchedulingError, RoutingError):
+            return  # boxed in: a legal refusal, not a crash
+        mover = scheduler.droplet("mover")
+        assert mover.position == offset_to_axial(*dst)
+        # The parked obstacle was never disturbed.
+        assert scheduler.droplet("obstacle").position == offset_to_axial(
+            *obstacle
+        )
+
+    @given(transport_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_time_equals_moves_times_step(self, scenario):
+        src, dst, _ = scenario
+        if src == dst:
+            return
+        chip = plain_chip(RectRegion(9, 9))
+        controller = ElectrodeController(chip)
+        scheduler = Scheduler(controller)
+        try:
+            schedule = scheduler.run(
+                [
+                    Dispense("d", offset_to_axial(*src)),
+                    Transport("d", offset_to_axial(*dst)),
+                ]
+            )
+        except (SchedulingError, RoutingError):
+            return
+        step = controller.model.step_time(controller.voltage)
+        assert controller.time == pytest.approx(schedule.total_moves * step)
+
+
+class TestMixMassConservation:
+    @given(
+        st.floats(min_value=1e-4, max_value=1e-2),
+        st.floats(min_value=1e-4, max_value=1e-2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mix_conserves_moles(self, ca, cb):
+        chip = plain_chip(RectRegion(9, 9))
+        scheduler = Scheduler(ElectrodeController(chip))
+        volume = 1e-9
+        scheduler.run(
+            [
+                Dispense("a", offset_to_axial(0, 0), {"x": ca}, volume=volume),
+                Dispense("b", offset_to_axial(8, 8), {"y": cb}, volume=volume),
+                Mix("a", "b", "ab", at=offset_to_axial(4, 4), cycles=1),
+            ]
+        )
+        merged = scheduler.droplet("ab")
+        assert merged.volume == pytest.approx(2 * volume)
+        assert merged.moles("x") == pytest.approx(ca * volume)
+        assert merged.moles("y") == pytest.approx(cb * volume)

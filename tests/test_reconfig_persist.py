@@ -1,0 +1,103 @@
+"""Tests for repair-plan persistence (the microcontroller configuration)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.designs.catalog import DTMB_2_6
+from repro.designs.interstitial import build_chip
+from repro.errors import ReconfigurationError
+from repro.faults.injection import FixedCountInjector
+from repro.geometry.hex import Hex
+from repro.geometry.hexgrid import RectRegion
+from repro.reconfig.local import RepairPlan, plan_local_repair
+from repro.reconfig.persist import (
+    dump_plan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+)
+
+
+@pytest.fixture
+def repaired():
+    chip = build_chip(DTMB_2_6, RectRegion(10, 10))
+    FixedCountInjector(5).sample(chip, seed=13).apply_to(chip)
+    return chip, plan_local_repair(chip)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, repaired):
+        _, plan = repaired
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.assignment == plan.assignment
+        assert restored.unrepaired == plan.unrepaired
+
+    def test_file_round_trip(self, repaired, tmp_path):
+        chip, plan = repaired
+        path = str(tmp_path / "config.json")
+        dump_plan(plan, path)
+        restored = load_plan(path, chip=chip)  # validates too
+        assert restored.assignment == plan.assignment
+
+    def test_stream_round_trip(self, repaired):
+        _, plan = repaired
+        buffer = io.StringIO()
+        dump_plan(plan, buffer)
+        buffer.seek(0)
+        assert load_plan(buffer).complete == plan.complete
+
+    def test_incomplete_plan_round_trips(self):
+        plan = RepairPlan(assignment={}, unrepaired=(Hex(1, 2),))
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.unrepaired == (Hex(1, 2),)
+        assert not restored.complete
+
+
+class TestValidationOnLoad:
+    def test_wrong_chip_rejected(self, repaired, tmp_path):
+        chip, plan = repaired
+        path = str(tmp_path / "config.json")
+        dump_plan(plan, path)
+        # A pristine chip has no faulty primaries: the plan cannot apply.
+        other = build_chip(DTMB_2_6, RectRegion(10, 10))
+        if plan.assignment:
+            with pytest.raises(ReconfigurationError):
+                load_plan(path, chip=other)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            plan_from_dict({"assignment": []})
+        with pytest.raises(ReconfigurationError):
+            plan_from_dict({"format": 99, "assignment": []})
+        with pytest.raises(ReconfigurationError):
+            plan_from_dict(
+                {
+                    "format": 1,
+                    "assignment": [
+                        {"faulty": {"kind": "torus", "pos": [0, 0]},
+                         "spare": {"kind": "hex", "pos": [0, 1]}}
+                    ],
+                }
+            )
+
+
+class TestHexSquareAblation:
+    # Lives here to avoid one more tiny file: the ablation driver's unit
+    # coverage (the bench asserts the scientific claims at full budget).
+    def test_runs_and_reports(self):
+        from repro.experiments import ablation_hexsquare
+
+        result = ablation_hexsquare.run(side=8, pairs=60, seed=3)
+        assert result.mean_route_hex > 0
+        assert result.mean_route_square > 0
+        assert 0.0 <= result.connected_after_faults_hex <= 1.0
+        assert "hexagonal" in result.format_report()
+
+    def test_hex_routes_shorter_on_average(self):
+        from repro.experiments import ablation_hexsquare
+
+        result = ablation_hexsquare.run(side=10, pairs=150, seed=5)
+        assert result.mean_route_hex < result.mean_route_square
