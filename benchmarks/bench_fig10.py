@@ -7,9 +7,9 @@ from conftest import report
 from repro.experiments import fig10
 
 
-def test_bench_fig10(benchmark, runs):
+def test_bench_fig10(benchmark, runs, engine):
     result = benchmark.pedantic(
-        fig10.run, kwargs={"runs": runs}, rounds=1, iterations=1
+        fig10.run, kwargs={"runs": runs, "engine": engine}, rounds=1, iterations=1
     )
     report("Figure 10: effective yield (n=100)", result.format_chart())
     report("Figure 10 crossovers", str(result.crossovers()))

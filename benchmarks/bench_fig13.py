@@ -7,9 +7,9 @@ from conftest import report
 from repro.experiments import fig13
 
 
-def test_bench_fig13(benchmark, runs):
+def test_bench_fig13(benchmark, runs, engine):
     result = benchmark.pedantic(
-        fig13.run, kwargs={"runs": runs}, rounds=1, iterations=1
+        fig13.run, kwargs={"runs": runs, "engine": engine}, rounds=1, iterations=1
     )
     report("Figure 13: yield vs number of faults", result.format_report())
     report("Figure 13 (chart)", result.format_chart())

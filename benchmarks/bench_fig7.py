@@ -8,10 +8,10 @@ from repro.experiments import fig7
 from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
 
 
-def test_bench_fig7(benchmark, runs):
+def test_bench_fig7(benchmark, runs, engine):
     result = benchmark.pedantic(
         fig7.run,
-        kwargs={"montecarlo_runs": runs},
+        kwargs={"montecarlo_runs": runs, "engine": engine},
         rounds=1,
         iterations=1,
     )

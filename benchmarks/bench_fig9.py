@@ -12,9 +12,9 @@ from conftest import report
 from repro.experiments import fig9
 
 
-def test_bench_fig9(benchmark, runs):
+def test_bench_fig9(benchmark, runs, engine):
     result = benchmark.pedantic(
-        fig9.run, kwargs={"runs": runs}, rounds=1, iterations=1
+        fig9.run, kwargs={"runs": runs, "engine": engine}, rounds=1, iterations=1
     )
     for n in (60, 120, 240):
         report(f"Figure 9 (n={n})", result.format_chart(n))

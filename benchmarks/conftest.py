@@ -7,7 +7,10 @@ crossovers fall.  Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Set ``REPRO_BENCH_RUNS`` to lower the budget for a quick pass.
+Set ``REPRO_BENCH_RUNS`` to lower the budget for a quick pass,
+``REPRO_BENCH_JOBS`` to shard sweep points across worker processes
+(results are bit-identical to serial), and ``REPRO_BENCH_CACHE`` to reuse
+an on-disk sweep result cache between invocations.
 """
 
 from __future__ import annotations
@@ -16,13 +19,27 @@ import os
 
 import pytest
 
+from repro.yieldsim.engine import SweepEngine
+
 #: Monte-Carlo runs per point; the paper uses 10 000.
 FULL_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "10000"))
+
+#: Worker processes for the sweep engine (1 = in-process).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Optional on-disk sweep cache directory.
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @pytest.fixture(scope="session")
 def runs() -> int:
     return FULL_RUNS
+
+
+@pytest.fixture(scope="session")
+def engine() -> SweepEngine:
+    """One engine for the whole benchmark session (shared cache counters)."""
+    return SweepEngine(jobs=JOBS, cache_dir=CACHE_DIR)
 
 
 def report(title: str, body: str) -> None:

@@ -35,12 +35,37 @@ from repro.experiments import (
     table1,
 )
 from repro.viz.export import write_csv
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["main", "build_parser"]
 
 
 def _emit(text: str) -> None:
     print(text)
+
+
+def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
+    """A SweepEngine honoring --jobs/--cache, or None for pure defaults.
+
+    Progress is reported to stderr in ~10% chunks so long paper-budget
+    sweeps show life without polluting the report on stdout.
+    """
+    jobs = getattr(args, "jobs", 1)
+    cache = getattr(args, "cache", None) or None  # "" means no cache
+    if jobs == 1 and cache is None:
+        return None
+
+    last_bucket = [-1]
+
+    def progress(done: int, total: int) -> None:
+        # `done` advances in chunk-sized jumps, so report whenever a new
+        # 10% bucket is crossed rather than on exact multiples.
+        bucket = done * 10 // max(1, total)
+        if bucket > last_bucket[0] or done == total:
+            last_bucket[0] = bucket
+            print(f"  [{done}/{total} points]", file=sys.stderr)
+
+    return SweepEngine(jobs=jobs, cache_dir=cache, progress=progress)
 
 
 # --- per-experiment handlers -------------------------------------------------
@@ -67,7 +92,11 @@ def _run_figs3to6(args: argparse.Namespace) -> None:
 
 
 def _run_fig7(args: argparse.Namespace) -> None:
-    result = fig7.run(montecarlo_runs=args.runs if args.mc_check else 0)
+    result = fig7.run(
+        montecarlo_runs=args.runs if args.mc_check else 0,
+        seed=args.seed,
+        engine=_engine_from_args(args),
+    )
     _emit(result.format_report())
     if args.chart:
         _emit("")
@@ -78,7 +107,7 @@ def _run_fig7(args: argparse.Namespace) -> None:
 
 
 def _run_fig9(args: argparse.Namespace) -> None:
-    result = fig9.run(runs=args.runs, seed=args.seed)
+    result = fig9.run(runs=args.runs, seed=args.seed, engine=_engine_from_args(args))
     _emit(result.format_report())
     if args.chart:
         for n in sorted({pt.n for pt in result.points}):
@@ -90,7 +119,7 @@ def _run_fig9(args: argparse.Namespace) -> None:
 
 
 def _run_fig10(args: argparse.Namespace) -> None:
-    result = fig10.run(runs=args.runs, seed=args.seed)
+    result = fig10.run(runs=args.runs, seed=args.seed, engine=_engine_from_args(args))
     _emit(result.format_report())
     _emit("")
     _emit(f"crossovers: {result.crossovers()}")
@@ -116,7 +145,7 @@ def _run_fig12(args: argparse.Namespace) -> None:
 
 
 def _run_fig13(args: argparse.Namespace) -> None:
-    result = fig13.run(runs=args.runs, seed=args.seed)
+    result = fig13.run(runs=args.runs, seed=args.seed, engine=_engine_from_args(args))
     _emit(result.format_report())
     if args.chart:
         _emit("")
@@ -216,6 +245,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--mc-check", action="store_true",
             help="(fig7) add the Monte-Carlo validation column",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for Monte-Carlo sweeps (results are "
+                 "bit-identical to serial execution)",
+        )
+        p.add_argument(
+            "--cache", type=str, default=None, metavar="DIR",
+            help="on-disk sweep result cache directory (keyed by chip, "
+                 "parameter, runs and seed; reruns cost nothing)",
         )
 
     for name in list(_EXPERIMENTS) + ["all"]:

@@ -85,6 +85,9 @@ class AssayError(ReproError):
 class TestPlanError(ReproError):
     """A design-for-test plan could not be generated."""
 
+    # Not a test case, despite the Test* name pytest would otherwise collect.
+    __test__ = False
+
 
 class SimulationError(ReproError):
     """Monte-Carlo or kinetics simulation was configured incorrectly."""

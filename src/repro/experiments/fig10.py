@@ -16,6 +16,7 @@ from repro.designs.catalog import TABLE1_DESIGNS
 from repro.designs.spec import DesignSpec
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
+from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
 from repro.yieldsim.sweeps import DEFAULT_P_GRID, SurvivalPoint, survival_sweep
 
@@ -90,7 +91,8 @@ def run(
     ps: Sequence[float] = DEFAULT_P_GRID,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig10Result:
     """The Figure 10 sweep: all four designs at n = 100 primaries."""
-    points = survival_sweep(designs, [n], ps, runs=runs, seed=seed)
+    points = survival_sweep(designs, [n], ps, runs=runs, seed=seed, engine=engine)
     return Fig10Result(n=n, points=tuple(points))

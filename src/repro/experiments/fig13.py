@@ -14,11 +14,12 @@ into double-digit fault counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.assays.chipspec import DiagnosticsChip, redesigned_chip
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
+from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
 from repro.yieldsim.sweeps import DefectCountPoint, defect_count_sweep
 
@@ -82,10 +83,11 @@ def run(
     ms: Sequence[int] = DEFAULT_MS,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig13Result:
     """The Figure 13 sweep on the 252+91-cell redesigned chip."""
     layout = redesigned_chip()
     points = defect_count_sweep(
-        layout.chip, ms, needed=layout.used, runs=runs, seed=seed
+        layout.chip, ms, needed=layout.used, runs=runs, seed=seed, engine=engine
     )
     return Fig13Result(layout=layout, points=tuple(points))

@@ -14,8 +14,8 @@ from repro.designs.interstitial import build_flower_chip
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
-from repro.yieldsim.montecarlo import YieldSimulator
-from repro.yieldsim.sweeps import DEFAULT_P_GRID
+from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.sweeps import DEFAULT_P_GRID, default_engine
 
 __all__ = ["Fig7Result", "run"]
 
@@ -71,13 +71,15 @@ def run(
     ps: Sequence[float] = DEFAULT_P_GRID,
     montecarlo_runs: int = 0,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig7Result:
     """Analytical Figure 7; set ``montecarlo_runs`` > 0 to cross-check.
 
     The Monte-Carlo column simulates a flower-complete DTMB(1,6) array
     (every primary owns its spare, as the cluster model assumes) with the
     smallest requested n; the analytical curve should match it within
-    Monte-Carlo noise.
+    Monte-Carlo noise.  The check runs through the sweep engine's
+    screening kernel (closed-form for degree-1 designs, no matching).
     """
     series: Dict[str, List[Tuple[float, float]]] = {}
     for n in ns:
@@ -88,11 +90,10 @@ def run(
     check: Dict[float, float] = {}
     if montecarlo_runs > 0:
         chip = build_flower_chip(ns[0])
-        sim = YieldSimulator(chip)
-        for i, p in enumerate(ps):
-            check[p] = sim.run_survival(
-                p, runs=montecarlo_runs, seed=seed + i
-            ).value
+        estimates = (engine or default_engine()).survival_estimates(
+            chip, [(p, seed + i) for i, p in enumerate(ps)], montecarlo_runs
+        )
+        check = {p: est.value for p, est in zip(ps, estimates)}
     return Fig7Result(
         ns=tuple(ns), ps=tuple(ps), series=series, montecarlo_check=check
     )

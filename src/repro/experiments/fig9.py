@@ -11,12 +11,13 @@ n grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import DTMB_2_6, DTMB_3_6, DTMB_4_4
 from repro.designs.spec import DesignSpec
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
+from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
 from repro.yieldsim.sweeps import DEFAULT_P_GRID, SurvivalPoint, survival_sweep
 
@@ -84,7 +85,12 @@ def run(
     ps: Sequence[float] = DEFAULT_P_GRID,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig9Result:
-    """The Figure 9 sweep (paper defaults: 10 000 runs per point)."""
-    points = survival_sweep(designs, ns, ps, runs=runs, seed=seed)
+    """The Figure 9 sweep (paper defaults: 10 000 runs per point).
+
+    Pass a configured :class:`SweepEngine` to shard the 99 points across
+    worker processes and/or reuse an on-disk result cache.
+    """
+    points = survival_sweep(designs, ns, ps, runs=runs, seed=seed, engine=engine)
     return Fig9Result(points=tuple(points))

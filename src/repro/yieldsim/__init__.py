@@ -6,6 +6,10 @@
   the higher-redundancy designs (Figures 9, 13);
 * :mod:`repro.yieldsim.effective` — the EY = Y/(1+RR) trade-off metric
   (Figure 10);
+* :mod:`repro.yieldsim.kernel` — the vectorized screen->match
+  repairability kernel behind the sweeps;
+* :mod:`repro.yieldsim.engine` — parallel sweep execution with derived
+  per-point seeds and an optional on-disk result cache;
 * :mod:`repro.yieldsim.sweeps` — reproducible parameter sweeps;
 * :mod:`repro.yieldsim.stats` — Wilson confidence intervals.
 """
@@ -17,7 +21,9 @@ from repro.yieldsim.analytical import (
     yield_no_redundancy,
 )
 from repro.yieldsim.effective import chip_effective_yield, effective_yield
+from repro.yieldsim.engine import EnginePoint, SweepEngine
 from repro.yieldsim.exact import MAX_EXACT_CELLS, exact_yield
+from repro.yieldsim.kernel import PointSpec, RepairStructure, ScreenStats
 from repro.yieldsim.montecarlo import DEFAULT_RUNS, YieldSimulator
 from repro.yieldsim.stats import YieldEstimate, wilson_interval
 from repro.yieldsim.sweeps import (
@@ -25,12 +31,19 @@ from repro.yieldsim.sweeps import (
     DefectCountPoint,
     SurvivalPoint,
     analytical_curves_dtmb16,
+    default_engine,
     defect_count_sweep,
     effective_yield_sweep,
     survival_sweep,
 )
 
 __all__ = [
+    "SweepEngine",
+    "EnginePoint",
+    "PointSpec",
+    "RepairStructure",
+    "ScreenStats",
+    "default_engine",
     "yield_no_redundancy",
     "flower_yield",
     "dtmb16_yield",

@@ -1,0 +1,396 @@
+"""Parallel sweep execution engine: screen -> match, sharded, cached.
+
+This module turns the per-point Monte-Carlo work of the yield sweeps
+(Figures 7, 9, 10, 13 and Table 1's companions) into independent,
+shardable units and runs them through the vectorized screening kernel.
+
+The screen->match funnel
+------------------------
+Every point is simulated by :mod:`repro.yieldsim.kernel`: fault maps for
+all runs are drawn in bulk with numpy, a funnel of exact vectorized
+reductions (zero-fault / dead-end / forced-move / private-spare peeling /
+Hall bounds) decides the overwhelming majority of runs, and only the
+ambiguous residue falls back to per-run integer Kuhn matching.  The
+funnel is *exact*, so the engine's numbers equal brute-force
+``YieldSimulator`` matching run for run; with ``dtype=float64`` they are
+bit-identical to it.
+
+The seed-derivation contract
+----------------------------
+Each sweep point carries its own integer seed, derived by the *caller*
+(``sweeps.py`` keeps the historical ``base_seed + counter`` scheme) and
+consumed by a fresh ``numpy`` Generator for that point alone.  No point
+ever reads another point's stream, so:
+
+* a sweep is exactly reproducible from its base seed;
+* any single point can be recomputed in isolation;
+* serial (``jobs=1``) and parallel (``jobs>1``) execution are
+  **bit-identical** — sharding only changes *where* a point is computed,
+  never what it computes.
+
+Parallelism and caching
+-----------------------
+``jobs > 1`` shards points across a ``ProcessPoolExecutor``; chips travel
+to workers as compact payload dicts and each worker memoizes the derived
+:class:`~repro.yieldsim.kernel.RepairStructure` by chip digest.  An
+optional on-disk cache stores one small JSON file per point, keyed by a
+SHA-256 digest of (chip cells, needed set, regime, parameter, runs, seed,
+dtype, engine version), so repeated sweeps — e.g. re-rendering a figure
+at the paper budget — cost nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chip.biochip import Biochip
+from repro.chip.cell import Cell, CellRole
+from repro.errors import SimulationError
+from repro.geometry.hex import Hex
+from repro.geometry.square import Square
+from repro.yieldsim.kernel import PointSpec, RepairStructure, ScreenStats, simulate_points
+from repro.yieldsim.stats import YieldEstimate
+
+__all__ = ["SweepEngine", "EnginePoint", "chip_payload", "payload_digest"]
+
+#: Bump when the kernel/sampling semantics change, to invalidate caches.
+ENGINE_VERSION = 1
+
+#: Maximum points per shard: small enough to load-balance a grid across
+#: workers, large enough to amortize per-chunk pickling.
+_CHUNK_POINTS = 4
+
+
+# -- chip payloads ------------------------------------------------------------
+
+def chip_payload(
+    chip: Biochip, needed: Optional[Iterable[Hashable]] = None
+) -> Dict[str, object]:
+    """A minimal, canonical, picklable description of a simulation target.
+
+    Only what the repairability question depends on is included — cell
+    coordinates, roles and the needed set.  Health, labels and the chip
+    name are deliberately excluded so cosmetic differences cannot split
+    the cache.
+    """
+    kind = None
+    cells: List[Tuple[int, int, int]] = []
+    for cell in chip:
+        coord = cell.coord
+        if isinstance(coord, Hex):
+            k, a, b = "hex", coord.q, coord.r
+        elif isinstance(coord, Square):
+            k, a, b = "square", coord.x, coord.y
+        else:
+            raise SimulationError(
+                f"cannot serialize coordinate of type {type(coord).__name__}"
+            )
+        if kind is None:
+            kind = k
+        elif kind != k:
+            raise SimulationError("chip mixes coordinate systems")
+        cells.append((a, b, 1 if cell.is_spare else 0))
+    payload: Dict[str, object] = {"coords": kind, "cells": cells}
+    if needed is not None:
+        needed_pairs = []
+        for coord in sorted(set(needed)):
+            if isinstance(coord, (Hex, Square)):
+                needed_pairs.append(
+                    (coord.q, coord.r) if isinstance(coord, Hex) else (coord.x, coord.y)
+                )
+            else:
+                raise SimulationError(
+                    f"cannot serialize needed coordinate {coord!r}"
+                )
+        payload["needed"] = needed_pairs
+    return payload
+
+
+def payload_digest(payload: Dict[str, object]) -> str:
+    """Stable SHA-256 digest of a chip payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=list)
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def _structure_from_payload(payload: Dict[str, object]) -> RepairStructure:
+    """Rebuild the chip from its payload and derive the repair structure."""
+    kind = payload["coords"]
+    make = Hex if kind == "hex" else Square
+    cells = [
+        Cell(make(a, b), CellRole.SPARE if spare else CellRole.PRIMARY)
+        for a, b, spare in payload["cells"]
+    ]
+    chip = Biochip(cells, name="engine-target")
+    needed = payload.get("needed")
+    if needed is not None:
+        needed = [make(a, b) for a, b in needed]
+    return RepairStructure(chip, needed=needed)
+
+
+# -- worker-side execution ----------------------------------------------------
+
+#: Per-process memo of chip digest -> RepairStructure, so a sweep that
+#: shards many points of one chip builds the structure once per worker.
+_STRUCTURES: Dict[str, RepairStructure] = {}
+
+
+def _structure_for(digest: str, payload: Dict[str, object]) -> RepairStructure:
+    struct = _STRUCTURES.get(digest)
+    if struct is None:
+        struct = _structure_from_payload(payload)
+        _STRUCTURES[digest] = struct
+    return struct
+
+
+def _compute_batch(
+    digest: str,
+    payload: Dict[str, object],
+    points: Sequence[PointSpec],
+    dtype_name: str,
+) -> Tuple[List[int], Dict[str, int]]:
+    """Compute one shard of points (runs in the worker process)."""
+    struct = _structure_for(digest, payload)
+    successes, stats = simulate_points(struct, points, dtype=np.dtype(dtype_name).type)
+    return successes, stats.as_dict()
+
+
+# -- the engine ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EnginePoint:
+    """One sweep point: a chip, an optional needed set, and a PointSpec."""
+
+    chip: Biochip
+    spec: PointSpec
+    needed: Optional[Tuple[Hashable, ...]] = None
+
+
+class SweepEngine:
+    """Executes batches of Monte-Carlo points, optionally in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs in-process; results are
+        bit-identical either way (see the module docstring's seed
+        contract).
+    cache_dir:
+        Directory for the on-disk point cache; ``None`` disables caching.
+        Created on first use.  Safe to share between serial and parallel
+        runs — entries are keyed per point.
+    progress:
+        Optional ``progress(done, total)`` callback, invoked after every
+        completed (or cache-hit) point chunk.
+    dtype:
+        Uniform-draw dtype for the survival regime.  The ``float32``
+        default halves RNG cost; use ``numpy.float64`` to reproduce the
+        legacy ``YieldSimulator`` stream bit for bit.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+        dtype: type = np.float32,
+    ):
+        if jobs < 1:
+            raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        if cache_dir is not None and os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+            raise SimulationError(
+                f"cache path {cache_dir!r} exists and is not a directory"
+            )
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.progress = progress
+        self.dtype = dtype
+        #: cumulative cache counters (for tests and reports)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: merged screen statistics of everything this engine computed
+        self.screen_stats = ScreenStats()
+
+    # -- cache ----------------------------------------------------------------
+    def _point_key(self, digest: str, spec: PointSpec) -> str:
+        blob = json.dumps(
+            {
+                "chip": digest,
+                "kind": spec.kind,
+                "param": spec.param,
+                "runs": spec.runs,
+                "seed": spec.seed,
+                "dtype": np.dtype(self.dtype).name,
+                "version": ENGINE_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _cache_load(self, key: str, spec: PointSpec) -> Optional[int]:
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._cache_path(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            successes = data["successes"]
+            if data["trials"] != spec.runs or not 0 <= successes <= spec.runs:
+                return None
+            return int(successes)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _cache_store(self, key: str, spec: PointSpec, successes: int) -> None:
+        if self.cache_dir is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "successes": successes,
+                        "trials": spec.runs,
+                        "kind": spec.kind,
+                        "param": spec.param,
+                        "seed": spec.seed,
+                        "version": ENGINE_VERSION,
+                    },
+                    fh,
+                )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- execution -------------------------------------------------------------
+    def run_points(self, tasks: Sequence[EnginePoint]) -> List[YieldEstimate]:
+        """Estimates for ``tasks``, in order; shards across jobs if > 1."""
+        n = len(tasks)
+        results: List[Optional[int]] = [None] * n
+
+        # Canonical payload/digest per distinct chip object (and needed set).
+        seen: Dict[Tuple[int, Optional[Tuple[Hashable, ...]]], str] = {}
+        payload_by_digest: Dict[str, Dict[str, object]] = {}
+        digests: List[str] = []
+        for task in tasks:
+            marker = (id(task.chip), task.needed)
+            digest = seen.get(marker)
+            if digest is None:
+                payload = chip_payload(task.chip, task.needed)
+                digest = payload_digest(payload)
+                seen[marker] = digest
+                payload_by_digest[digest] = payload
+            digests.append(digest)
+
+        # Cache pass.
+        pending: List[int] = []
+        done = 0
+        for i, task in enumerate(tasks):
+            task.spec.validate(len(task.chip))
+            cached = self._cache_load(self._point_key(digests[i], task.spec), task.spec)
+            if cached is not None:
+                results[i] = cached
+                self.cache_hits += 1
+                done += 1
+            else:
+                pending.append(i)
+                if self.cache_dir is not None:
+                    self.cache_misses += 1
+        if done and self.progress is not None:
+            self.progress(done, n)
+
+        # Group pending points into per-chip chunks (the shard unit).  The
+        # grouping depends only on the task list, never on jobs, so serial
+        # and parallel runs compute identical chunks.
+        chunks: List[Tuple[str, List[int]]] = []
+        current_digest: Optional[str] = None
+        for i in pending:
+            if digests[i] != current_digest or len(chunks[-1][1]) >= _CHUNK_POINTS:
+                chunks.append((digests[i], []))
+                current_digest = digests[i]
+            chunks[-1][1].append(i)
+
+        def record(chunk_indices: List[int], successes: List[int], stats: Dict[str, int]) -> None:
+            nonlocal done
+            for idx, got in zip(chunk_indices, successes):
+                results[idx] = got
+                self._cache_store(
+                    self._point_key(digests[idx], tasks[idx].spec), tasks[idx].spec, got
+                )
+            self.screen_stats.merge(ScreenStats.from_dict(stats))
+            done += len(chunk_indices)
+            if self.progress is not None:
+                self.progress(done, n)
+
+        dtype_name = np.dtype(self.dtype).name
+        if self.jobs == 1 or len(chunks) <= 1:
+            for digest, idxs in chunks:
+                successes, stats = _compute_batch(
+                    digest, payload_by_digest[digest],
+                    [tasks[i].spec for i in idxs], dtype_name,
+                )
+                record(idxs, successes, stats)
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
+                futures = {
+                    pool.submit(
+                        _compute_batch, digest, payload_by_digest[digest],
+                        [tasks[i].spec for i in idxs], dtype_name,
+                    ): idxs
+                    for digest, idxs in chunks
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        successes, stats = fut.result()
+                        record(futures[fut], successes, stats)
+
+        return [
+            YieldEstimate(successes=results[i], trials=tasks[i].spec.runs)
+            for i in range(n)
+        ]
+
+    # -- conveniences ----------------------------------------------------------
+    def survival_estimates(
+        self,
+        chip: Biochip,
+        points: Sequence[Tuple[float, int]],
+        runs: int,
+        needed: Optional[Iterable[Hashable]] = None,
+    ) -> List[YieldEstimate]:
+        """Survival-regime estimates for ``(p, seed)`` pairs on one chip."""
+        needed_t = tuple(sorted(set(needed))) if needed is not None else None
+        tasks = [
+            EnginePoint(chip, PointSpec("survival", p, runs, seed), needed_t)
+            for p, seed in points
+        ]
+        return self.run_points(tasks)
+
+    def fixed_fault_estimates(
+        self,
+        chip: Biochip,
+        points: Sequence[Tuple[int, int]],
+        runs: int,
+        needed: Optional[Iterable[Hashable]] = None,
+    ) -> List[YieldEstimate]:
+        """Fixed-fault-count estimates for ``(m, seed)`` pairs on one chip."""
+        needed_t = tuple(sorted(set(needed))) if needed is not None else None
+        tasks = [
+            EnginePoint(chip, PointSpec("fixed", m, runs, seed), needed_t)
+            for m, seed in points
+        ]
+        return self.run_points(tasks)

@@ -1,0 +1,670 @@
+"""Vectorized repairability screening kernel for Monte-Carlo yield runs.
+
+The repairability question behind every Monte-Carlo run — "can each faulty
+needed primary be matched to a distinct surviving adjacent spare?" — is a
+bipartite matching feasibility problem.  Solving it with per-run Python
+matching (``YieldSimulator._repairable``) is exact but slow.  This module
+answers the same question for a whole batch of fault maps at once, using a
+funnel of *exact* vectorized reductions; only the runs the screen cannot
+decide fall through to the integer Kuhn matching.
+
+The funnel, in order:
+
+1. **zero-fault**: runs with no faulty needed primary are good.
+2. **dead end**: a faulty primary with zero surviving adjacent spares
+   makes the run bad (Hall's condition fails on a singleton set).
+3. **peeling** (iterated to a fixed point, all runs at once):
+
+   * *forced moves* — a faulty primary with exactly one surviving spare
+     must take it.  Two primaries forced onto the same spare make the
+     run bad; otherwise the assignment is committed and both endpoints
+     leave the problem.
+   * *private spares* — a surviving spare demanded by exactly one faulty
+     primary can be greedily committed to it.
+
+   Both reductions are feasibility-preserving in *both* directions (the
+   standard exchange argument: a demand-1 spare is used by no other
+   faulty primary in any matching, and a degree-1 primary has no other
+   choice), so peeling never changes the verdict — it only shrinks the
+   residual problem, usually to nothing.
+4. **Hall bounds** on the residual: if the union of surviving candidate
+   spares is smaller than the number of unmatched faulty primaries the
+   run is bad; if every unmatched primary's surviving degree is at least
+   that number, Hall's condition holds and the run is good.
+5. **Kuhn residue**: whatever survives the screen (typically well under
+   a percent of runs at the paper's survival probabilities) is decided
+   by exact augmenting-path matching on the *reduced* problem.
+
+:class:`RepairStructure` precomputes the padded primary->spare adjacency
+arrays the screen needs; :func:`classify_repairable` runs the funnel and
+returns a per-run verdict plus :class:`ScreenStats` counters so callers
+(and tests) can see where each run was decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.chip.biochip import Biochip
+from repro.errors import SimulationError
+from repro.faults.injection import RngLike, make_rng
+
+__all__ = [
+    "GOOD",
+    "BAD",
+    "UNDECIDED",
+    "RepairStructure",
+    "ScreenStats",
+    "PointSpec",
+    "classify_repairable",
+    "count_repairable",
+    "kuhn_repairable",
+    "survival_batch_sizes",
+    "fixed_fault_alive",
+    "survival_successes",
+    "fixed_fault_successes",
+    "simulate_points",
+]
+
+#: Per-run verdict codes returned by :func:`classify_repairable`.
+GOOD: int = 1
+BAD: int = 0
+UNDECIDED: int = -1
+
+#: Peeling iteration cap.  Each committing iteration strictly shrinks the
+#: problem, so this is a safety valve, not a correctness requirement — any
+#: run still undecided at the cap is handed to the exact matcher.
+_MAX_PEEL_ITERATIONS = 64
+
+#: Memory bound (bytes of survival matrix) replicated exactly from the
+#: original ``YieldSimulator`` batching so batch boundaries — and therefore
+#: the RNG stream — are bit-identical to the pre-engine implementation.
+_BATCH_BYTES = 8_000_000
+
+#: Rows per *classification* sub-batch are chosen so the screen's working
+#: set (entry keys, gathers, demand counts) stays inside a ~2 MB L2 cache.
+#: This only slices the already-drawn survival matrix — it never changes
+#: the RNG stream, and verdicts are per-run, so results are unaffected.
+_CLASSIFY_BYTES = 800_000
+
+
+@dataclass
+class ScreenStats:
+    """Where the runs of a batch were decided, stage by stage."""
+
+    runs: int = 0
+    zero_fault: int = 0
+    bad_dead_end: int = 0
+    bad_forced_conflict: int = 0
+    bad_hall: int = 0
+    good_peeled: int = 0
+    good_hall: int = 0
+    residue: int = 0
+    residue_good: int = 0
+
+    @property
+    def screened(self) -> int:
+        """Runs decided without any per-run matching."""
+        return self.runs - self.residue
+
+    def merge(self, other: "ScreenStats") -> None:
+        """Accumulate another batch's counters into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ScreenStats":
+        return cls(**{k: int(v) for k, v in data.items() if k in cls.__dataclass_fields__})
+
+
+class RepairStructure:
+    """Precomputed primary->adjacent-spare structure of one chip.
+
+    Shared by the vectorized screen and the brute-force reference
+    simulator, so both answer the repairability question on exactly the
+    same bipartite graph.
+
+    Parameters
+    ----------
+    chip:
+        The array under evaluation (never mutated; health is ignored).
+    needed:
+        Primary coordinates that must work (default: every primary).
+    """
+
+    def __init__(self, chip: Biochip, needed: Optional[Iterable[Hashable]] = None):
+        coords = chip.coords
+        index: Dict[Hashable, int] = {c: i for i, c in enumerate(coords)}
+        self.n_cells = len(coords)
+
+        if needed is None:
+            needed_coords = [c.coord for c in chip.primaries()]
+        else:
+            needed_coords = sorted(set(needed))
+            for coord in needed_coords:
+                if coord not in chip:
+                    raise SimulationError(f"needed cell {coord} is not on the chip")
+                if not chip[coord].is_primary:
+                    raise SimulationError(
+                        f"needed cell {coord} is a spare; only primaries carry "
+                        "assay functionality"
+                    )
+        if not needed_coords:
+            raise SimulationError("no needed primary cells to protect")
+
+        #: cell indices of the protected primaries, aligned with :attr:`adj`.
+        self.needed_idx = np.array([index[c] for c in needed_coords], dtype=np.int64)
+        #: per-protected-primary tuple of adjacent spare *cell* indices —
+        #: the graph the reference Kuhn matching walks.
+        self.adj: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index[s.coord] for s in chip.adjacent_spares(coord))
+            for coord in needed_coords
+        )
+        self.needed_count = len(needed_coords)
+
+        # -- dense screen arrays ------------------------------------------
+        # Candidate spares: the union of all adjacency lists.  The screen
+        # works in candidate positions (0..S-1), not raw cell indices.
+        cand = sorted({s for lst in self.adj for s in lst})
+        #: cell indices of the candidate spares, sorted.
+        self.cand = np.array(cand, dtype=np.int64)
+        self.n_cand = len(cand)
+        pos_of = {s: i for i, s in enumerate(cand)}
+        max_deg = max((len(lst) for lst in self.adj), default=0)
+        width = max(max_deg, 1)
+        #: (k, D) candidate positions, padded with 0 where :attr:`adj_mask`
+        #: is False.
+        self.adj_pos = np.zeros((self.needed_count, width), dtype=np.int32)
+        self.adj_mask = np.zeros((self.needed_count, width), dtype=bool)
+        for j, lst in enumerate(self.adj):
+            for d, s in enumerate(lst):
+                self.adj_pos[j, d] = pos_of[s]
+                self.adj_mask[j, d] = True
+        #: (k, S) float32 incidence matrix for the demand matmul.
+        self.inc = np.zeros((self.needed_count, max(self.n_cand, 1)), dtype=np.float32)
+        for j, lst in enumerate(self.adj):
+            for s in lst:
+                self.inc[j, pos_of[s]] = 1.0
+        #: maximum primary->spare degree; <= 1 enables a closed-form screen.
+        self.max_degree = max_deg
+        # Reverse adjacency (candidate spare -> needed primaries), padded,
+        # for the degree-<=-1 fast path's demand computation.
+        members: list = [[] for _ in range(self.n_cand)]
+        for j, lst in enumerate(self.adj):
+            for s in lst:
+                members[pos_of[s]].append(j)
+        rev_width = max((len(m) for m in members), default=0) or 1
+        self.rev_pos = np.zeros((max(self.n_cand, 1), rev_width), dtype=np.int32)
+        self.rev_mask = np.zeros((max(self.n_cand, 1), rev_width), dtype=bool)
+        for s, lst in enumerate(members):
+            for d, j in enumerate(lst):
+                self.rev_pos[s, d] = j
+                self.rev_mask[s, d] = True
+
+
+def kuhn_repairable(
+    adj: Tuple[Tuple[int, ...], ...],
+    faulty_positions: Iterable[int],
+    alive: np.ndarray,
+) -> bool:
+    """Kuhn matching feasibility: can every faulty primary get a spare?
+
+    ``adj`` maps protected-primary positions to adjacent spare cell
+    indices; ``alive`` is the per-cell survival row.  Correctness rests on
+    the standard augmenting-path theorem: if a left vertex cannot be
+    augmented at the moment it is processed, it is exposed in *some*
+    maximum matching, so no saturating matching exists and we can stop.
+    """
+    match_right: Dict[int, int] = {}
+
+    def try_augment(j: int, visited: Set[int]) -> bool:
+        for s in adj[j]:
+            if not alive[s] or s in visited:
+                continue
+            visited.add(s)
+            owner = match_right.get(s)
+            if owner is None or try_augment(owner, visited):
+                match_right[s] = j
+                return True
+        return False
+
+    for j in faulty_positions:
+        if not try_augment(j, set()):
+            return False
+    return True
+
+
+def _kuhn_reduced(
+    struct: RepairStructure, fa_row: np.ndarray, ca_row: np.ndarray
+) -> bool:
+    """Exact matching on a peeled residual problem.
+
+    ``fa_row`` flags the still-unmatched faulty primaries (length k);
+    ``ca_row`` flags the still-available surviving candidate spares
+    (length S).  Peeling is feasibility-preserving, so the answer here is
+    the answer for the original fault map.
+    """
+    adj_pos, adj_mask = struct.adj_pos, struct.adj_mask
+    match_right: Dict[int, int] = {}
+
+    def try_augment(j: int, visited: Set[int]) -> bool:
+        for d in range(adj_pos.shape[1]):
+            if not adj_mask[j, d]:
+                continue
+            s = int(adj_pos[j, d])
+            if not ca_row[s] or s in visited:
+                continue
+            visited.add(s)
+            owner = match_right.get(s)
+            if owner is None or try_augment(owner, visited):
+                match_right[s] = j
+                return True
+        return False
+
+    for j in np.nonzero(fa_row)[0]:
+        if not try_augment(int(j), set()):
+            return False
+    return True
+
+
+def _classify_degree_one(
+    struct: RepairStructure,
+    alive: np.ndarray,
+    faulty_full: np.ndarray,
+    verdict: np.ndarray,
+    stats: ScreenStats,
+) -> Tuple[np.ndarray, ScreenStats]:
+    """Closed-form screen for designs where every primary has <= 1 spare.
+
+    With singleton neighborhoods (DTMB(1,6), the Figure 7 design) no
+    matching is ever needed: a saturating assignment exists iff every
+    faulty needed primary's unique spare survives and no surviving spare
+    is demanded by two or more faulty primaries.
+    """
+    ca = alive[:, struct.cand]                      # (R, S)
+    spare_pos = struct.adj_pos[:, 0]                # (k,) unique spare per primary
+    has_spare = struct.adj_mask[:, 0]
+    spare_alive = ca[:, spare_pos] & has_spare      # (R, k)
+    dead_any = (faulty_full & ~spare_alive).any(axis=1)
+    demand = (faulty_full[:, struct.rev_pos] & struct.rev_mask).sum(
+        axis=2, dtype=np.uint8
+    )                                               # (R, S) faulty demand per spare
+    conflict_any = ((demand >= 2) & ca).any(axis=1)
+
+    undecided = verdict == UNDECIDED
+    bad_dead = undecided & dead_any
+    verdict[bad_dead] = BAD
+    stats.bad_dead_end = int(bad_dead.sum())
+    bad_conflict = undecided & ~dead_any & conflict_any
+    verdict[bad_conflict] = BAD
+    stats.bad_forced_conflict = int(bad_conflict.sum())
+    good = undecided & ~dead_any & ~conflict_any
+    verdict[good] = GOOD
+    stats.good_peeled = int(good.sum())
+    return verdict, stats
+
+
+def classify_repairable(
+    struct: RepairStructure, alive: np.ndarray
+) -> Tuple[np.ndarray, ScreenStats]:
+    """Per-run repairability verdicts for a boolean survival matrix.
+
+    ``alive`` is ``(runs, n_cells)``; the returned verdict array holds
+    :data:`GOOD` or :data:`BAD` for every run (no ``UNDECIDED`` entries
+    remain — the Kuhn fallback settles the residue).  The second return
+    value counts how many runs each funnel stage decided.
+    """
+    if alive.ndim != 2 or alive.shape[1] != struct.n_cells:
+        raise SimulationError(
+            f"survival matrix must be (runs, {struct.n_cells}), got {alive.shape}"
+        )
+    n_runs = alive.shape[0]
+    stats = ScreenStats(runs=n_runs)
+    verdict = np.full(n_runs, UNDECIDED, dtype=np.int8)
+
+    faulty_full = ~alive[:, struct.needed_idx]
+    nf0 = faulty_full.sum(axis=1)
+    zero = nf0 == 0
+    verdict[zero] = GOOD
+    stats.zero_fault = int(zero.sum())
+    if zero.all():
+        return verdict, stats
+    if struct.n_cand == 0:
+        # Faulty primaries but no spares anywhere: all bad.
+        bad = ~zero
+        verdict[bad] = BAD
+        stats.bad_dead_end = int(bad.sum())
+        return verdict, stats
+
+    if struct.max_degree <= 1:
+        return _classify_degree_one(struct, alive, faulty_full, verdict, stats)
+
+    S = struct.n_cand
+    # One *entry* per (run, faulty needed primary).  All peeling state is
+    # per-entry, so each iteration costs O(active entries), not O(runs x k).
+    k = struct.needed_count
+    flat = np.flatnonzero(faulty_full)
+    # int32 keys keep the hot arrays half-sized; fall back to int64 for
+    # batches too large to address that way (not reachable via the ~8 MB
+    # batching of the samplers below).
+    key_dtype = np.int32 if n_runs * S <= np.iinfo(np.int32).max else np.int64
+    re, je = np.divmod(flat, k)              # entry -> run row / primary pos
+    re = re.astype(key_dtype)
+    je = je.astype(np.int32)
+    keys = (re * key_dtype(S))[:, None] + struct.adj_pos[je].astype(key_dtype, copy=False)
+    sv = struct.adj_mask[je]                 # (E, D) structural validity
+    # Flat availability of every (run, candidate-spare); commits clear bits.
+    ca_flat = alive[:, struct.cand].reshape(-1).copy()
+    row_left = nf0.astype(np.int64)          # unresolved entries per run
+
+    stuck_re: list = []                      # entries handed to the final stage
+    stuck_je: list = []
+
+    for _ in range(_MAX_PEEL_ITERATIONS):
+        if re.size == 0:
+            break
+        sp_alive = sv & ca_flat[keys]        # (E, D) usable spares per entry
+        deg = sp_alive.sum(axis=1, dtype=np.uint8)
+
+        # Dead ends: a faulty primary with no usable spare kills its run.
+        # Compress their rows away before the more expensive phases.
+        dead = deg == 0
+        if dead.any():
+            # Scatter-mark the dead rows (every entry row is still
+            # undecided here, so the mask counts them exactly).
+            newly = np.zeros(n_runs, dtype=bool)
+            newly[re[dead]] = True
+            verdict[newly] = BAD
+            stats.bad_dead_end += int(newly.sum())
+            live = verdict[re] == UNDECIDED
+            re, je, keys, sv = re[live], je[live], keys[live], sv[live]
+            sp_alive, deg = sp_alive[live], deg[live]
+            if re.size == 0:
+                break
+
+        # Forced moves: a degree-1 primary must take its only spare.  Two
+        # primaries forced onto the same spare are an exact infeasibility.
+        live = None                          # None == every entry is live
+        commit_key = np.full(re.size, -1, dtype=keys.dtype)
+        forced = deg == 1
+        if forced.any():
+            fe = np.flatnonzero(forced)
+            fd = sp_alive[fe].argmax(axis=1)
+            fkey = keys[fe, fd]
+            counts = np.bincount(fkey, minlength=n_runs * S)
+            dup = counts[fkey] >= 2
+            if dup.any():
+                clash = np.zeros(n_runs, dtype=bool)
+                clash[re[fe[dup]]] = True
+                verdict[clash] = BAD
+                stats.bad_forced_conflict += int(clash.sum())
+                live = verdict[re] == UNDECIDED
+                ok = live[fe]
+                fe, fkey = fe[ok], fkey[ok]
+            commit_key[fe] = fkey
+
+        # Private spares: a surviving spare demanded by exactly one live
+        # primary is committed to it.  Computed from the same pre-commit
+        # snapshot as the forced moves — a forced spare carries its
+        # forcer's demand, so forced and private picks can never collide,
+        # and two private picks of one spare are impossible by definition.
+        la = sp_alive if live is None else sp_alive & live[:, None]
+        demand = np.bincount(keys[la], minlength=n_runs * S)
+        priv = la & (demand[keys] == 1)
+        haspriv = priv.any(axis=1) & (commit_key < 0)
+        if haspriv.any():
+            pe = np.flatnonzero(haspriv)
+            pd = priv[pe].argmax(axis=1)
+            commit_key[pe] = keys[pe, pd]
+
+        committed = commit_key >= 0
+        if committed.any():
+            ca_flat[commit_key[committed]] = False
+            row_left -= np.bincount(re[committed], minlength=n_runs)
+
+        # Rows are independent, so a live row with no commit this
+        # iteration can never progress: hand its entries to the final
+        # stage now so the loop only iterates on shrinking work.
+        progressed = np.zeros(n_runs, dtype=bool)
+        progressed[re[committed]] = True
+        keep_base = ~committed if live is None else ~committed & live
+        stuck = keep_base & ~progressed[re]
+        if stuck.any():
+            stuck_re.append(re[stuck])
+            stuck_je.append(je[stuck])
+        keep = keep_base & ~stuck
+        re, je, keys, sv = re[keep], je[keep], keys[keep], sv[keep]
+    else:
+        # Iteration cap: whatever is left goes to the exact matcher.
+        if re.size:
+            stuck_re.append(re)
+            stuck_je.append(je)
+
+    undecided = verdict == UNDECIDED
+    peeled_good = undecided & (row_left == 0)
+    verdict[peeled_good] = GOOD
+    stats.good_peeled = int(peeled_good.sum())
+
+    if stuck_re:
+        s_re = np.concatenate(stuck_re)
+        s_je = np.concatenate(stuck_je)
+        live = verdict[s_re] == UNDECIDED
+        s_re, s_je = s_re[live], s_je[live]
+    else:
+        s_re = np.empty(0, np.int64)
+        s_je = s_re
+    if s_re.size:
+        rows, inverse = np.unique(s_re, return_inverse=True)
+        # Dense residual problem, one row per stuck run: usually a tiny
+        # fraction of the batch, so dense Hall bounds + Kuhn are cheap.
+        fa = np.zeros((rows.size, struct.needed_count), dtype=bool)
+        fa[inverse, s_je] = True
+        ca = ca_flat.reshape(n_runs, S)[rows]
+        avail = ca[:, struct.adj_pos] & struct.adj_mask
+        deg = avail.sum(axis=2)
+        nf = fa.sum(axis=1)
+
+        demand = fa.astype(np.float32) @ struct.inc
+        union = ((demand > 0.0) & ca).sum(axis=1)
+        hall_bad = union < nf
+        if hall_bad.any():
+            verdict[rows[hall_bad]] = BAD
+            stats.bad_hall += int(hall_bad.sum())
+        min_deg = np.where(fa, deg, struct.needed_count + 7).min(axis=1)
+        hall_good = ~hall_bad & (min_deg >= nf)
+        if hall_good.any():
+            verdict[rows[hall_good]] = GOOD
+            stats.good_hall += int(hall_good.sum())
+
+        residue = np.nonzero(~(hall_bad | hall_good))[0]
+        stats.residue = int(residue.size)
+        for row in residue:
+            good = _kuhn_reduced(struct, fa[row], ca[row])
+            verdict[rows[row]] = GOOD if good else BAD
+            stats.residue_good += int(good)
+    return verdict, stats
+
+
+def count_repairable(
+    struct: RepairStructure, alive: np.ndarray
+) -> Tuple[int, ScreenStats]:
+    """Number of repairable runs in a survival matrix, plus funnel stats.
+
+    Classifies in cache-sized row slices (see :data:`_CLASSIFY_BYTES`);
+    verdicts are per-run, so slicing cannot change the counts.
+    """
+    sub = max(1, _CLASSIFY_BYTES // max(1, struct.n_cells))
+    successes = 0
+    total = ScreenStats()
+    for start in range(0, alive.shape[0], sub):
+        verdict, stats = classify_repairable(struct, alive[start:start + sub])
+        successes += int((verdict == GOOD).sum())
+        total.merge(stats)
+    return successes, total
+
+
+# -- batched samplers ---------------------------------------------------------
+
+def survival_batch_sizes(runs: int, n_cells: int) -> Iterator[int]:
+    """Batch sizes bounding the survival matrix at ~8 MB.
+
+    Replicates the original ``YieldSimulator.run_survival`` batching
+    formula exactly, so a given seed produces the identical RNG stream —
+    and therefore identical successes — in both implementations.
+    """
+    batch = max(1, min(runs, _BATCH_BYTES // max(1, n_cells)))
+    remaining = runs
+    while remaining > 0:
+        size = min(batch, remaining)
+        remaining -= size
+        yield size
+
+
+def fixed_fault_alive(
+    rng: np.random.Generator, n_cells: int, m: int, size: int
+) -> np.ndarray:
+    """Boolean ``(size, n_cells)`` survival matrix with exactly m faults/run.
+
+    Draws a uniform random m-subset per run by taking the m smallest of
+    ``n_cells`` i.i.d. uniforms (argpartition) — one vectorized draw for
+    the whole batch instead of ``size`` Python-level ``rng.choice`` calls.
+    """
+    alive = np.ones((size, n_cells), dtype=bool)
+    if m == 0:
+        return alive
+    if m >= n_cells:
+        alive[:] = False
+        return alive
+    u = rng.random((size, n_cells))
+    faults = np.argpartition(u, m, axis=1)[:, :m]
+    alive[np.arange(size)[:, None], faults] = False
+    return alive
+
+
+# -- full per-point simulations ----------------------------------------------
+
+def survival_successes(
+    struct: RepairStructure,
+    p: float,
+    runs: int,
+    seed: RngLike = None,
+    dtype: type = np.float32,
+) -> Tuple[int, ScreenStats]:
+    """Successes among ``runs`` i.i.d.-survival fault maps at probability p.
+
+    The default ``float32`` uniforms halve RNG cost; pass
+    ``dtype=np.float64`` to reproduce the exact RNG stream of the original
+    ``YieldSimulator.run_survival`` (same batching, same draws), in which
+    case the result is bit-identical to the brute-force simulator — every
+    funnel reduction is exact.  Either way the result is a deterministic
+    function of (chip, p, runs, seed, dtype).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"survival probability must be in [0, 1], got {p}")
+    if runs < 1:
+        raise SimulationError(f"runs must be >= 1, got {runs}")
+    rng = make_rng(seed)
+    successes = 0
+    total = ScreenStats()
+    for size in survival_batch_sizes(runs, struct.n_cells):
+        alive = rng.random((size, struct.n_cells), dtype=dtype) < p
+        got, stats = count_repairable(struct, alive)
+        successes += got
+        total.merge(stats)
+    return successes, total
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One Monte-Carlo point: a fault regime, its parameter and a seed.
+
+    ``kind`` is ``"survival"`` (``param`` = survival probability p) or
+    ``"fixed"`` (``param`` = fault count m).  ``seed`` feeds
+    :func:`repro.faults.injection.make_rng`; every point owns its own
+    generator, so results never depend on which other points are computed
+    alongside it — the contract that makes sweep sharding bit-stable.
+    """
+
+    kind: str
+    param: float
+    runs: int
+    seed: object = None
+
+    def validate(self, n_cells: int) -> None:
+        if self.runs < 1:
+            raise SimulationError(f"runs must be >= 1, got {self.runs}")
+        if self.kind == "survival":
+            if not 0.0 <= self.param <= 1.0:
+                raise SimulationError(
+                    f"survival probability must be in [0, 1], got {self.param}"
+                )
+        elif self.kind == "fixed":
+            m = int(self.param)
+            if m != self.param or m < 0:
+                raise SimulationError(f"fault count must be an int >= 0, got {self.param}")
+            if m > n_cells:
+                raise SimulationError(f"cannot place {m} faults on {n_cells} cells")
+        else:
+            raise SimulationError(f"unknown point kind {self.kind!r}")
+
+
+def simulate_points(
+    struct: RepairStructure,
+    points: Sequence[PointSpec],
+    dtype: type = np.float32,
+) -> Tuple[list, ScreenStats]:
+    """Success counts for a list of points on one chip.
+
+    Every point owns its own RNG (seeded from ``point.seed``), so the
+    result for a point is independent of which other points share the
+    call — the property the sweep engine relies on to shard points across
+    processes without changing any number.  Returns per-point success
+    counts plus the merged :class:`ScreenStats` of everything computed.
+    """
+    results: list = []
+    total = ScreenStats()
+    for point in points:
+        point.validate(struct.n_cells)
+        if point.kind == "survival":
+            got, stats = survival_successes(
+                struct, point.param, point.runs, point.seed, dtype=dtype
+            )
+        else:
+            got, stats = fixed_fault_successes(
+                struct, int(point.param), point.runs, point.seed
+            )
+        results.append(got)
+        total.merge(stats)
+    return results, total
+
+
+def fixed_fault_successes(
+    struct: RepairStructure, m: int, runs: int, seed: RngLike = None
+) -> Tuple[int, ScreenStats]:
+    """Successes among ``runs`` exactly-m-fault maps (Figure 13 regime).
+
+    The sampling distribution matches ``YieldSimulator.run_fixed_faults``
+    (uniform m-subsets of all cells) but the draw is vectorized, so the
+    two implementations agree statistically, not bit-for-bit.
+    """
+    if m < 0:
+        raise SimulationError(f"fault count must be >= 0, got {m}")
+    if m > struct.n_cells:
+        raise SimulationError(f"cannot place {m} faults on {struct.n_cells} cells")
+    if runs < 1:
+        raise SimulationError(f"runs must be >= 1, got {runs}")
+    rng = make_rng(seed)
+    successes = 0
+    total = ScreenStats()
+    for size in survival_batch_sizes(runs, struct.n_cells):
+        alive = fixed_fault_alive(rng, struct.n_cells, m, size)
+        got, stats = count_repairable(struct, alive)
+        successes += got
+        total.merge(stats)
+    return successes, total

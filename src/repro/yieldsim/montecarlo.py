@@ -23,13 +23,14 @@ Two fault regimes are supported, matching the paper's two experiments:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.chip.biochip import Biochip
 from repro.errors import SimulationError
 from repro.faults.injection import RngLike, make_rng
+from repro.yieldsim.kernel import RepairStructure, kuhn_repairable
 from repro.yieldsim.stats import YieldEstimate
 
 __all__ = ["YieldSimulator", "DEFAULT_RUNS"]
@@ -54,66 +55,24 @@ class YieldSimulator:
 
     def __init__(self, chip: Biochip, needed: Optional[Iterable[Hashable]] = None):
         self.chip = chip
-        coords = chip.coords
-        index: Dict[Hashable, int] = {c: i for i, c in enumerate(coords)}
-        self.n_cells = len(coords)
-
-        if needed is None:
-            needed_coords = [c.coord for c in chip.primaries()]
-        else:
-            needed_coords = sorted(set(needed))
-            for coord in needed_coords:
-                if coord not in chip:
-                    raise SimulationError(f"needed cell {coord} is not on the chip")
-                if not chip[coord].is_primary:
-                    raise SimulationError(
-                        f"needed cell {coord} is a spare; only primaries carry "
-                        "assay functionality"
-                    )
-        if not needed_coords:
-            raise SimulationError("no needed primary cells to protect")
-
+        #: shared primary->adjacent-spare structure (validates ``needed``).
+        self.structure = RepairStructure(chip, needed=needed)
+        self.n_cells = self.structure.n_cells
         #: cell indices of the protected primaries, aligned with ``_adj``.
-        self._needed_idx = np.array(
-            [index[c] for c in needed_coords], dtype=np.int64
-        )
+        self._needed_idx = self.structure.needed_idx
         #: per-protected-primary tuple of adjacent spare cell indices.
-        self._adj: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(
-                index[s.coord]
-                for s in chip.adjacent_spares(coord)
-            )
-            for coord in needed_coords
-        )
-        self.needed_count = len(needed_coords)
+        self._adj: Tuple[Tuple[int, ...], ...] = self.structure.adj
+        self.needed_count = self.structure.needed_count
 
     # -- repair kernel -------------------------------------------------------
     def _repairable(self, faulty_positions: Sequence[int], alive: np.ndarray) -> bool:
         """Kuhn matching feasibility: can every faulty primary get a spare?
 
-        ``faulty_positions`` indexes into the protected-primary list;
-        ``alive`` is the per-cell survival row.  Correctness rests on the
-        standard augmenting-path theorem: if a left vertex cannot be
-        augmented at the moment it is processed, it is exposed in *some*
-        maximum matching, so no saturating matching exists and we can stop.
+        This is the brute-force reference the vectorized screening kernel
+        (:mod:`repro.yieldsim.kernel`) is cross-checked against; see
+        :func:`repro.yieldsim.kernel.kuhn_repairable` for the algorithm.
         """
-        match_right: Dict[int, int] = {}
-
-        def try_augment(j: int, visited: Set[int]) -> bool:
-            for s in self._adj[j]:
-                if not alive[s] or s in visited:
-                    continue
-                visited.add(s)
-                owner = match_right.get(s)
-                if owner is None or try_augment(owner, visited):
-                    match_right[s] = j
-                    return True
-            return False
-
-        for j in faulty_positions:
-            if not try_augment(j, set()):
-                return False
-        return True
+        return kuhn_repairable(self._adj, faulty_positions, alive)
 
     # -- survival-probability regime ------------------------------------------
     def run_survival(

@@ -2,8 +2,17 @@
 
 Each sweep returns plain dataclass records so the experiment drivers,
 benchmarks and tests can all consume the same structures.  Seeds are derived
-deterministically per point (seed + point index) so a sweep is exactly
-reproducible and individual points can be recomputed in isolation.
+deterministically from the base seed — ``seed + counter`` per point for the
+survival sweeps, one shared ``seed + 1`` for all points of a defect-count
+sweep (common random numbers; see :func:`defect_count_sweep`) — so a sweep
+is exactly reproducible and individual points can be recomputed in
+isolation.
+
+Execution is delegated to :class:`repro.yieldsim.engine.SweepEngine`: the
+vectorized screening kernel decides most runs without per-run matching, and
+callers may pass their own engine to run points across worker processes
+(``jobs > 1``) and/or against an on-disk result cache — with results
+bit-identical to the default serial engine either way.
 """
 
 from __future__ import annotations
@@ -17,7 +26,9 @@ from repro.designs.spec import DesignSpec
 from repro.errors import SimulationError
 from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
 from repro.yieldsim.effective import chip_effective_yield
-from repro.yieldsim.montecarlo import DEFAULT_RUNS, YieldSimulator
+from repro.yieldsim.engine import EnginePoint, SweepEngine
+from repro.yieldsim.kernel import PointSpec
+from repro.yieldsim.montecarlo import DEFAULT_RUNS
 from repro.yieldsim.stats import YieldEstimate
 
 __all__ = [
@@ -27,12 +38,24 @@ __all__ = [
     "effective_yield_sweep",
     "defect_count_sweep",
     "analytical_curves_dtmb16",
+    "default_engine",
 ]
 
 #: The survival-probability grid the paper's figures span.
 DEFAULT_P_GRID: Tuple[float, ...] = tuple(
     round(0.90 + 0.01 * i, 2) for i in range(11)
 )
+
+#: Shared serial engine used when callers do not supply one.
+_DEFAULT_ENGINE: Optional[SweepEngine] = None
+
+
+def default_engine() -> SweepEngine:
+    """The lazily created serial engine behind the plain sweep functions."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = SweepEngine()
+    return _DEFAULT_ENGINE
 
 
 @dataclass(frozen=True)
@@ -68,31 +91,47 @@ def survival_sweep(
     ps: Sequence[float] = DEFAULT_P_GRID,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SurvivalPoint]:
     """Monte-Carlo yield of each design at each (n, p) — Figure 9's data.
 
     Chips are built with exactly ``n`` primary cells per design (the paper
     parameterizes by primary count).  Effective yield uses each chip's
-    realized redundancy ratio.
+    realized redundancy ratio.  Point seeds follow the historical
+    ``seed + counter`` derivation, so a given (specs, ns, ps, runs, seed)
+    produces the same numbers whatever engine executes it.
     """
-    points: List[SurvivalPoint] = []
+    engine = engine or default_engine()
+    meta: List[Tuple[DesignSpec, int, float]] = []
+    point_args: List[Tuple[Biochip, float, int]] = []
     counter = 0
     for spec in specs:
         for n in ns:
             chip = build_with_primary_count(spec, n).build()
-            sim = YieldSimulator(chip)
             for p in ps:
                 counter += 1
-                estimate = sim.run_survival(p, runs=runs, seed=seed + counter)
-                points.append(
-                    SurvivalPoint(
-                        design=spec.name,
-                        n=n,
-                        p=p,
-                        estimate=estimate,
-                        effective=chip_effective_yield(chip, estimate),
-                    )
-                )
+                meta.append((spec, n, p))
+                point_args.append((chip, p, seed + counter))
+
+    # One engine call for the whole sweep: points on the same chip form
+    # shard chunks, and all chips' points load-balance across workers.
+    tasks = [
+        EnginePoint(chip, PointSpec("survival", p, runs, pseed))
+        for chip, p, pseed in point_args
+    ]
+    estimates = engine.run_points(tasks)
+
+    points: List[SurvivalPoint] = []
+    for (spec, n, p), (chip, _, _), estimate in zip(meta, point_args, estimates):
+        points.append(
+            SurvivalPoint(
+                design=spec.name,
+                n=n,
+                p=p,
+                estimate=estimate,
+                effective=chip_effective_yield(chip, estimate),
+            )
+        )
     return points
 
 
@@ -102,9 +141,10 @@ def effective_yield_sweep(
     ps: Sequence[float] = DEFAULT_P_GRID,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SurvivalPoint]:
     """Effective-yield comparison at fixed primary count — Figure 10's data."""
-    return survival_sweep(specs, [n], ps, runs=runs, seed=seed)
+    return survival_sweep(specs, [n], ps, runs=runs, seed=seed, engine=engine)
 
 
 def defect_count_sweep(
@@ -113,14 +153,25 @@ def defect_count_sweep(
     needed: Optional[Iterable[Hashable]] = None,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
 ) -> List[DefectCountPoint]:
-    """Yield of ``chip`` under exactly-m-fault maps — Figure 13's data."""
-    sim = YieldSimulator(chip, needed=needed)
-    points: List[DefectCountPoint] = []
-    for i, m in enumerate(ms):
-        estimate = sim.run_fixed_faults(m, runs=runs, seed=seed + i + 1)
-        points.append(DefectCountPoint(m=m, estimate=estimate))
-    return points
+    """Yield of ``chip`` under exactly-m-fault maps — Figure 13's data.
+
+    All points share one derived seed (common random numbers): each run
+    ranks the cells once, and the m-fault set is the m top-ranked cells,
+    so fault sets are *nested* across the sweep.  Every point remains an
+    exactly-uniform m-subset draw, but the yield curve is monotone in m
+    by construction — no Monte-Carlo wiggle even at small budgets — and
+    any single point can still be recomputed in isolation from the seed.
+    """
+    engine = engine or default_engine()
+    estimates = engine.fixed_fault_estimates(
+        chip, [(m, seed + 1) for m in ms], runs, needed=needed
+    )
+    return [
+        DefectCountPoint(m=m, estimate=estimate)
+        for m, estimate in zip(ms, estimates)
+    ]
 
 
 def analytical_curves_dtmb16(
