@@ -10,7 +10,7 @@ from repro.experiments import ablation_defects
 def test_bench_ablation_defects(benchmark):
     result = benchmark.pedantic(
         ablation_defects.run,
-        kwargs={"trials": 800},
+        kwargs={"runs": 800},
         rounds=1,
         iterations=1,
     )

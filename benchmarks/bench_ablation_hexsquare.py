@@ -10,7 +10,7 @@ from repro.experiments import ablation_hexsquare
 def test_bench_ablation_hexsquare(benchmark):
     result = benchmark.pedantic(
         ablation_hexsquare.run,
-        kwargs={"pairs": 400},
+        kwargs={"runs": 400},
         rounds=1,
         iterations=1,
     )

@@ -10,7 +10,7 @@ from repro.experiments import ablation_matching
 def test_bench_ablation_matching(benchmark):
     result = benchmark.pedantic(
         ablation_matching.run,
-        kwargs={"trials": 1500},
+        kwargs={"runs": 1500},
         rounds=1,
         iterations=1,
     )

@@ -11,7 +11,7 @@ from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
 def test_bench_fig7(benchmark, runs, engine):
     result = benchmark.pedantic(
         fig7.run,
-        kwargs={"montecarlo_runs": runs, "engine": engine},
+        kwargs={"runs": runs, "engine": engine},
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,66 @@
+"""Registry sweep: every registered experiment through the artifact pipeline.
+
+Instead of importing figures by hand, iterate the registry the way the CLI
+does: generic dispatch, budget policy applied, artifacts + manifest
+written.  This is the integrity benchmark for the pipeline itself, so it
+runs at a bounded budget regardless of ``REPRO_BENCH_RUNS`` — the
+per-figure benchmarks own the paper-budget numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from conftest import report
+
+from repro.experiments import registry
+from repro.experiments.artifacts import MANIFEST_NAME, ArtifactRun
+
+#: Pipeline-integrity budget; deliberately small (see module docstring).
+PIPELINE_RUNS = 300
+
+
+def _reproduce_everything(out_dir: str, runs: int, seed: int):
+    run = ArtifactRun(out_dir, runs=runs, seed=seed)
+    results = []
+    for experiment in registry.all_experiments():
+        result = registry.execute(experiment, runs=runs, seed=seed)
+        run.add(result)
+        results.append(result)
+    run.finalize()
+    return results
+
+
+def test_bench_registry_full_reproduction(benchmark):
+    with tempfile.TemporaryDirectory() as out_dir:
+        results = benchmark.pedantic(
+            _reproduce_everything,
+            args=(out_dir, PIPELINE_RUNS, 2005),
+            rounds=1,
+            iterations=1,
+        )
+        manifest = json.loads(
+            open(os.path.join(out_dir, MANIFEST_NAME)).read()
+        )
+
+        lines = [
+            f"{result.name:<20} {result.provenance.wall_time_s:7.2f}s  "
+            f"budget {result.provenance.runs_effective}"
+            for result in results
+        ]
+        report("Registry sweep (one command, whole paper)", "\n".join(lines))
+
+        # Every registered experiment dispatched and landed in the manifest.
+        assert sorted(manifest["experiments"]) == sorted(registry.names())
+        # Tabular experiments all produced their CSV+JSON artifact pair.
+        for experiment in registry.all_experiments():
+            files = manifest["experiments"][experiment.name]["files"]
+            if experiment.tabular:
+                assert os.path.exists(os.path.join(out_dir, files["csv"]))
+                assert os.path.exists(os.path.join(out_dir, files["json"]))
+            assert os.path.exists(os.path.join(out_dir, files["report"]))
+        # Provenance digests are present and well-formed for auditing.
+        for entry in manifest["experiments"].values():
+            assert len(entry["provenance"]["digest"]) == 64

@@ -1,39 +1,43 @@
-"""Command-line interface: regenerate any paper artifact from the shell.
+"""Command-line interface: one generic dispatcher over the experiment registry.
+
+Every subcommand except ``gallery`` and ``recommend`` is generated from
+:mod:`repro.experiments.registry` — the CLI has no per-experiment code.
+Registering a new experiment (one ``@register`` decorator on its driver's
+``run``) is all it takes for the command, ``repro list``, ``repro show``,
+``repro all`` and the artifact manifest to pick it up.
 
 ::
 
+    python -m repro list                       # what can be reproduced
+    python -m repro show fig9                  # one experiment in detail
     python -m repro table1
     python -m repro fig9 --runs 2000 --csv fig9.csv
     python -m repro fig13 --chart
-    python -m repro all --runs 2000
+    python -m repro ablation-hexsquare --runs 5000
+    python -m repro all --runs 2000 --out artifacts/
     python -m repro gallery --out designs.html
     python -m repro recommend --target-yield 0.95 --p 0.95 --n 100
 
 Every experiment honors ``--runs`` (Monte-Carlo budget; paper default
-10 000) and ``--seed``.  ``--csv`` exports the underlying series where the
-driver produces tabular data.
+10 000, scaled per experiment by its registered budget policy) and
+``--seed``.  ``--csv`` exports the rows of any tabular experiment;
+``--out DIR`` writes the full artifact bundle (CSV + JSON + report +
+ASCII charts per experiment, plus a ``manifest.json`` with provenance:
+seed, effective budget, engine jobs/cache traffic, result digest).
+``repro all --out artifacts/`` is the one-command, diffable paper
+reproduction.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.experiments import (
-    ablation_defects,
-    ablation_matching,
-    design_targeting,
-    fig2,
-    fig7,
-    fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    figs3to6,
-    table1,
-)
+from repro.errors import ExperimentError
+from repro.experiments import registry
+from repro.experiments.artifacts import ArtifactRun
+from repro.experiments.registry import Experiment, ExperimentResult
 from repro.viz.export import write_csv
 from repro.yieldsim.engine import SweepEngine
 
@@ -42,6 +46,11 @@ __all__ = ["main", "build_parser"]
 
 def _emit(text: str) -> None:
     print(text)
+
+
+def _fail(message: str) -> int:
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
 
 
 def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
@@ -68,144 +77,130 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
     return SweepEngine(jobs=jobs, cache_dir=cache, progress=progress)
 
 
-# --- per-experiment handlers -------------------------------------------------
-
-def _run_table1(args: argparse.Namespace) -> None:
-    result = table1.run()
-    _emit(result.format_report())
-    if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
-
-
-def _run_fig2(args: argparse.Namespace) -> None:
-    result = fig2.run()
-    _emit(result.format_report())
-    if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
-
-
-def _run_figs3to6(args: argparse.Namespace) -> None:
-    result = figs3to6.run()
-    _emit(result.format_report(with_layouts=args.chart))
-
-
-def _run_fig7(args: argparse.Namespace) -> None:
-    result = fig7.run(
-        montecarlo_runs=args.runs if args.mc_check else 0,
+def _artifact_run(args: argparse.Namespace) -> Optional[ArtifactRun]:
+    if not getattr(args, "out", None):
+        return None
+    return ArtifactRun(
+        args.out,
+        runs=args.runs,
         seed=args.seed,
-        engine=_engine_from_args(args),
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache", None) or None,
     )
-    _emit(result.format_report())
-    if args.chart:
-        _emit("")
-        _emit(result.format_chart())
-    if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
 
 
-def _run_fig9(args: argparse.Namespace) -> None:
-    result = fig9.run(runs=args.runs, seed=args.seed, engine=_engine_from_args(args))
-    _emit(result.format_report())
-    if args.chart:
-        for n in sorted({pt.n for pt in result.points}):
+# --- the generic dispatcher --------------------------------------------------
+
+def _execute(
+    experiment: Experiment,
+    args: argparse.Namespace,
+    engine: Optional[SweepEngine],
+) -> ExperimentResult:
+    return registry.execute(
+        experiment,
+        runs=args.runs,
+        seed=args.seed,
+        engine=engine,
+        options={
+            "chart": getattr(args, "chart", False),
+            "mc_check": getattr(args, "mc_check", False),
+        },
+    )
+
+
+def _print_result(result: ExperimentResult, args: argparse.Namespace) -> None:
+    """Render one experiment to stdout exactly as the bespoke handlers did:
+    report, epilogue lines, then (with --chart) each chart after a blank
+    line.  ``report_text()`` is the same renderer the artifact pipeline
+    writes to ``report.txt``, keeping stdout and artifacts in lockstep."""
+    _emit(result.report_text())
+    if getattr(args, "chart", False):
+        for _label, chart in result.charts:
             _emit("")
-            _emit(result.format_chart(n))
+            _emit(chart)
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    experiment = registry.get(args.command)
+    # Reject impossible exports and unwritable --out targets before
+    # spending the Monte-Carlo budget.
+    if args.csv and not experiment.tabular:
+        return _fail(
+            f"{experiment.name} has no tabular data to export "
+            "(report-only experiment)"
+        )
+    run = _artifact_run(args)
+    engine = _engine_from_args(args)
+    result = _execute(experiment, args, engine)
+    _print_result(result, args)
     if args.csv:
         write_csv(args.csv, result.headers, result.rows)
         _emit(f"wrote {args.csv}")
+    if run is not None:
+        run.add(result)
+        manifest = run.finalize()
+        _emit(f"wrote {manifest}")
+    return 0
 
 
-def _run_fig10(args: argparse.Namespace) -> None:
-    result = fig10.run(runs=args.runs, seed=args.seed, engine=_engine_from_args(args))
-    _emit(result.format_report())
-    _emit("")
-    _emit(f"crossovers: {result.crossovers()}")
-    if args.chart:
-        _emit("")
-        _emit(result.format_chart())
+def _run_all(args: argparse.Namespace) -> int:
     if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
+        return _fail(
+            "`all` cannot write a single CSV; use --out DIR for "
+            "per-experiment artifacts"
+        )
+    engine = _engine_from_args(args)
+    run = _artifact_run(args)
+    for experiment in registry.all_experiments():
+        _emit(f"\n=== {experiment.name} ===")
+        result = _execute(experiment, args, engine)
+        _print_result(result, args)
+        if run is not None:
+            run.add(result)
+    if run is not None:
+        manifest = run.finalize()
+        _emit(f"\nwrote {manifest} ({run.added} experiments)")
+    return 0
 
 
-def _run_fig11(args: argparse.Namespace) -> None:
-    result = fig11.run()
-    _emit(result.format_report())
-    if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
+def _run_list(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+
+    rows = []
+    for experiment in registry.all_experiments():
+        rows.append(
+            (
+                experiment.name,
+                experiment.paper_ref,
+                experiment.budget.describe(),
+                "csv,json" if experiment.tabular else "report",
+                "yes" if experiment.has_charts else "-",
+            )
+        )
+    _emit(
+        format_table(
+            ["experiment", "paper ref", "budget (--runs N)", "artifacts", "charts"],
+            rows,
+        )
+    )
+    return 0
 
 
-def _run_fig12(args: argparse.Namespace) -> None:
-    result = fig12.run(seed=args.seed)
-    _emit(result.format_report())
+def _run_show(args: argparse.Namespace) -> int:
+    experiment = registry.get(args.experiment)
+    _emit(experiment.describe())
+    return 0
 
 
-def _run_fig13(args: argparse.Namespace) -> None:
-    result = fig13.run(runs=args.runs, seed=args.seed, engine=_engine_from_args(args))
-    _emit(result.format_report())
-    if args.chart:
-        _emit("")
-        _emit(result.format_chart())
-    if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
-
-
-def _run_ablation_matching(args: argparse.Namespace) -> None:
-    result = ablation_matching.run(trials=max(100, args.runs // 5), seed=args.seed)
-    _emit(result.format_report())
-
-
-def _run_ablation_defects(args: argparse.Namespace) -> None:
-    result = ablation_defects.run(trials=max(100, args.runs // 10), seed=args.seed)
-    _emit(result.format_report())
-
-
-def _run_targeting(args: argparse.Namespace) -> None:
-    result = design_targeting.run(runs=max(500, args.runs // 3), seed=args.seed)
-    _emit(result.format_report())
-    if args.csv:
-        write_csv(args.csv, result.headers, result.rows)
-        _emit(f"wrote {args.csv}")
-
-
-_EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {
-    "table1": _run_table1,
-    "fig2": _run_fig2,
-    "figs3to6": _run_figs3to6,
-    "fig7": _run_fig7,
-    "fig9": _run_fig9,
-    "fig10": _run_fig10,
-    "fig11": _run_fig11,
-    "fig12": _run_fig12,
-    "fig13": _run_fig13,
-    "ablation-matching": _run_ablation_matching,
-    "ablation-defects": _run_ablation_defects,
-    "targeting": _run_targeting,
-}
-
-
-def _run_all(args: argparse.Namespace) -> None:
-    for name, handler in _EXPERIMENTS.items():
-        _emit(f"\n=== {name} ===")
-        # `all` never writes CSV per experiment (paths would collide).
-        sub_args = argparse.Namespace(**vars(args))
-        sub_args.csv = None
-        handler(sub_args)
-
-
-def _run_gallery(args: argparse.Namespace) -> None:
+def _run_gallery(args: argparse.Namespace) -> int:
     from repro.viz.gallery import write_gallery
 
     write_gallery(args.out, size=args.size)
     _emit(f"wrote {args.out}")
+    return 0
 
 
-def _run_recommend(args: argparse.Namespace) -> None:
+def _run_recommend(args: argparse.Namespace) -> int:
     from repro.designs.selector import recommend_design
 
     result = recommend_design(
@@ -216,6 +211,7 @@ def _run_recommend(args: argparse.Namespace) -> None:
         seed=args.seed,
     )
     _emit(result.format_report())
+    return 0
 
 
 # --- parser ---------------------------------------------------------------------
@@ -233,7 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--runs", type=int, default=10_000,
-            help="Monte-Carlo runs per point (paper default: 10000)",
+            help="Monte-Carlo runs per point (paper default: 10000; each "
+                 "experiment scales this by its registered budget policy)",
         )
         p.add_argument("--seed", type=int, default=2005, help="RNG seed")
         p.add_argument(
@@ -256,13 +253,31 @@ def build_parser() -> argparse.ArgumentParser:
             help="on-disk sweep result cache directory (keyed by chip, "
                  "parameter, runs and seed; reruns cost nothing)",
         )
-
-    for name in list(_EXPERIMENTS) + ["all"]:
-        p = sub.add_parser(name, help=f"regenerate {name}")
-        common(p)
-        p.set_defaults(
-            handler=_EXPERIMENTS.get(name, _run_all)
+        p.add_argument(
+            "--out", type=str, default=None, metavar="DIR",
+            help="write CSV/JSON/report/chart artifacts plus manifest.json "
+                 "into this run directory",
         )
+
+    for experiment in registry.all_experiments():
+        p = sub.add_parser(
+            experiment.name,
+            aliases=experiment.aliases,
+            help=f"regenerate {experiment.paper_ref}: {experiment.title}",
+        )
+        common(p)
+        p.set_defaults(handler=_run_experiment, command=experiment.name)
+
+    p = sub.add_parser("all", help="regenerate every registered experiment")
+    common(p)
+    p.set_defaults(handler=_run_all)
+
+    p = sub.add_parser("list", help="list the registered experiments")
+    p.set_defaults(handler=_run_list)
+
+    p = sub.add_parser("show", help="describe one registered experiment")
+    p.add_argument("experiment", help="experiment name or alias")
+    p.set_defaults(handler=_run_show)
 
     gallery = sub.add_parser("gallery", help="write the HTML design gallery")
     gallery.add_argument("--out", default="designs.html")
@@ -286,8 +301,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.handler(args)
-    return 0
+    try:
+        return args.handler(args)
+    except ExperimentError as exc:
+        # User-facing registry/artifact mistakes (unknown experiment name,
+        # unwritable --out path, corrupt manifest) get a clean error, not
+        # a traceback; simulation misconfiguration still raises, by house
+        # style.
+        return _fail(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

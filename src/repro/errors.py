@@ -23,6 +23,8 @@ __all__ = [
     "AssayError",
     "TestPlanError",
     "SimulationError",
+    "ExperimentError",
+    "ArtifactError",
 ]
 
 
@@ -91,3 +93,11 @@ class TestPlanError(ReproError):
 
 class SimulationError(ReproError):
     """Monte-Carlo or kinetics simulation was configured incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was registered or dispatched incorrectly."""
+
+
+class ArtifactError(ExperimentError):
+    """An artifact run directory or manifest could not be written."""

@@ -1,22 +1,30 @@
 """Experiment drivers: one module per paper table/figure plus ablations.
 
-=================  ============================================
-module             reproduces
-=================  ============================================
-``table1``         Table 1 (redundancy ratios)
-``fig2``           Figure 2 (shifted-replacement cost)
-``figs3to6``       Figures 3-6 (DTMB layouts + graph structure)
-``fig7``           Figure 7 (DTMB(1,6) analytical yield)
-``fig9``           Figure 9 (Monte-Carlo yield, s > 1 designs)
-``fig10``          Figure 10 (effective yield, crossovers)
-``fig11``          Figure 11 (fabricated-chip baseline, 0.3378)
-``fig12``          Figure 12 (redesign + example reconfiguration)
-``fig13``          Figure 13 (yield vs fault count, >= 0.90 @ 35)
-``ablation_*``     design-choice ablations (matching, defects)
-=================  ============================================
+====================  ============================================
+module                reproduces
+====================  ============================================
+``table1``            Table 1 (redundancy ratios)
+``fig2``              Figure 2 (shifted-replacement cost)
+``figs3to6``          Figures 3-6 (DTMB layouts + graph structure)
+``fig7``              Figure 7 (DTMB(1,6) analytical yield)
+``fig9``              Figure 9 (Monte-Carlo yield, s > 1 designs)
+``fig10``             Figure 10 (effective yield, crossovers)
+``fig11``             Figure 11 (fabricated-chip baseline, 0.3378)
+``fig12``             Figure 12 (redesign + example reconfiguration)
+``fig13``             Figure 13 (yield vs fault count, >= 0.90 @ 35)
+``ablation_*``        design-choice ablations (matching, defects,
+                      hex-vs-square electrodes)
+``design_targeting``  the (process, target-yield) design selector
+====================  ============================================
 
 Figure 8 (the bipartite-matching example) is exercised directly by the
 :mod:`repro.reconfig.bipartite` unit tests and by every Figure 9/13 run.
+
+Every driver exposes a uniform ``run(*, runs, seed, engine, **knobs)``
+and registers itself into :mod:`repro.experiments.registry` — the single
+source of truth the CLI, the artifact pipeline
+(:mod:`repro.experiments.artifacts`), the benchmarks and the tests all
+dispatch through.  Importing this package populates the registry.
 """
 
 from repro.experiments import (  # noqa: F401 - re-exported driver modules
@@ -34,6 +42,7 @@ from repro.experiments import (  # noqa: F401 - re-exported driver modules
     figs3to6,
     table1,
 )
+from repro.experiments import artifacts, registry  # noqa: F401
 from repro.experiments.report import format_table
 
 __all__ = [
@@ -50,5 +59,7 @@ __all__ = [
     "ablation_defects",
     "ablation_hexsquare",
     "design_targeting",
+    "registry",
+    "artifacts",
     "format_table",
 ]

@@ -12,14 +12,16 @@ the independent model is optimistic under particle-dominated processes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import DTMB_2_6
 from repro.designs.interstitial import build_with_primary_count
 from repro.designs.spec import DesignSpec
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.faults.injection import BernoulliInjector, ClusteredInjector
 from repro.reconfig.local import is_repairable
+from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.stats import YieldEstimate
 
 __all__ = ["DefectModelAblationResult", "run"]
@@ -58,19 +60,34 @@ def _estimate(chip, injector, trials: int, seed: int) -> YieldEstimate:
     return YieldEstimate(successes=successes, trials=trials)
 
 
+@register(
+    "ablation-defects",
+    title="Defect-model ablation: independent vs clustered spot defects",
+    paper_ref="Section 5 (ablation)",
+    order=110,
+    budget=BudgetPolicy(divisor=10, floor=100),
+)
 def run(
+    *,
+    runs: int = 1500,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
     spec: DesignSpec = DTMB_2_6,
     n: int = 120,
     expected_faults: Sequence[float] = (2.0, 4.0, 6.0, 8.0),
-    trials: int = 1500,
-    seed: int = 2005,
 ) -> DefectModelAblationResult:
     """Match E[faulty cells] between the two injectors and compare yield.
+
+    ``runs`` is the number of fault-map trials per injector and severity.
+    The clustered injector is not expressible as an engine regime, so
+    ``engine`` is accepted for the uniform experiment signature but has
+    no effect.
 
     A radius-1 spot on the hex lattice kills up to 7 cells (fewer at the
     boundary, ~6.3 on average for interior-dominated arrays); the spot
     rate is set so rate * avg_spot_size * cells == expected faults.
     """
+    trials = runs
     chip = build_with_primary_count(spec, n).build()
     cells = len(chip)
     # Average radius-1 spot size on this footprint.

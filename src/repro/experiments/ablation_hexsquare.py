@@ -18,16 +18,16 @@ This ablation quantifies that expectation on equal-cell-count arrays:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from repro.chip.builders import plain_chip, square_chip
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.faults.injection import make_rng
 from repro.fluidics.routing import Router
 from repro.errors import RoutingError
 from repro.geometry.hexgrid import RectRegion
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["HexSquareResult", "run"]
 
@@ -76,13 +76,28 @@ class HexSquareResult:
         )
 
 
+@register(
+    "ablation-hexsquare",
+    title="Electrode-geometry ablation: hexagonal vs square arrays",
+    paper_ref="Section 3 (ablation)",
+    order=120,
+    budget=BudgetPolicy(divisor=25, floor=120),
+)
 def run(
-    side: int = 12,
-    pairs: int = 300,
-    fault_fraction: float = 0.15,
+    *,
+    runs: int = 300,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
+    side: int = 12,
+    fault_fraction: float = 0.15,
 ) -> HexSquareResult:
-    """Compare ``side x side`` hex and square arrays on random routes."""
+    """Compare ``side x side`` hex and square arrays on random routes.
+
+    ``runs`` is the number of random route pairs per geometry.  Routing is
+    graph search, not a yield sweep, so ``engine`` is accepted for the
+    uniform experiment signature but has no effect.
+    """
+    pairs = runs
     hex_chip = plain_chip(RectRegion(side, side), name="hex")
     sq_chip = square_chip(side, side, name="square")
     rng = make_rng(seed)

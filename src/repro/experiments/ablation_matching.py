@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.designs.catalog import DTMB_2_6
 from repro.designs.interstitial import build_with_primary_count
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.faults.injection import BernoulliInjector
 from repro.reconfig.bipartite import (
@@ -26,6 +27,7 @@ from repro.reconfig.bipartite import (
     saturates_left,
 )
 from repro.reconfig.local import build_repair_graph
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["MatchingAblationResult", "run"]
 
@@ -65,13 +67,28 @@ class MatchingAblationResult:
         )
 
 
+@register(
+    "ablation-matching",
+    title="Matching-algorithm ablation: greedy vs maximum matching",
+    paper_ref="Section 4 (ablation)",
+    order=100,
+    budget=BudgetPolicy(divisor=5, floor=100),
+)
 def run(
+    *,
+    runs: int = 2000,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
     n: int = 240,
     p: float = 0.93,
-    trials: int = 2000,
-    seed: int = 2005,
 ) -> MatchingAblationResult:
-    """Compare the three algorithms on identical DTMB(2,6) fault maps."""
+    """Compare the three algorithms on identical DTMB(2,6) fault maps.
+
+    ``runs`` is the number of fault-map trials.  The per-run timing loop
+    is intrinsically serial, so ``engine`` is accepted for the uniform
+    experiment signature but has no effect.
+    """
+    trials = runs
     chip = build_with_primary_count(DTMB_2_6, n).build()
     injector = BernoulliInjector(p)
     repaired = {name: 0 for name in MATCHING_ALGORITHMS}

@@ -10,12 +10,14 @@ pin above their desk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import TABLE1_DESIGNS
 from repro.designs.selector import recommend_design
 from repro.designs.spec import DesignSpec
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["TargetingResult", "run"]
 
@@ -53,15 +55,29 @@ class TargetingResult:
         return format_table(self.headers, self.rows)
 
 
+@register(
+    "targeting",
+    title="Cheapest adequate design per process quality and yield target",
+    paper_ref="Section 1 (design method)",
+    order=130,
+    aliases=("design-targeting",),
+    budget=BudgetPolicy(divisor=3, floor=500),
+)
 def run(
+    *,
+    runs: int = 3000,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
     n: int = 100,
     targets: Sequence[float] = DEFAULT_TARGETS,
     ps: Sequence[float] = DEFAULT_PS,
     designs: Sequence[DesignSpec] = TABLE1_DESIGNS,
-    runs: int = 3000,
-    seed: int = 2005,
 ) -> TargetingResult:
     """Build the (process quality x yield target) design-choice table.
+
+    ``runs`` is the Monte-Carlo budget per recommendation; the selector
+    runs its own small sweeps, so ``engine`` is accepted for the uniform
+    experiment signature but has no effect.
 
     ``"-"`` marks infeasible corners (no catalog design reaches the
     target); they appear at low p with aggressive targets, which is the

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import TABLE1_DESIGNS
 from repro.designs.spec import DesignSpec
+from repro.experiments.registry import register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.engine import SweepEngine
@@ -85,13 +86,22 @@ class Fig10Result:
         )
 
 
+@register(
+    "fig10",
+    title="Effective yield EY = Y/(1+RR) and its crossovers",
+    paper_ref="Figure 10",
+    order=60,
+    epilogue=lambda raw: ("", f"crossovers: {raw.crossovers()}"),
+    charts=lambda raw: (("effective-yield", raw.format_chart()),),
+)
 def run(
-    designs: Sequence[DesignSpec] = TABLE1_DESIGNS,
-    n: int = DEFAULT_N,
-    ps: Sequence[float] = DEFAULT_P_GRID,
+    *,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    designs: Sequence[DesignSpec] = TABLE1_DESIGNS,
+    n: int = DEFAULT_N,
+    ps: Sequence[float] = DEFAULT_P_GRID,
 ) -> Fig10Result:
     """The Figure 10 sweep: all four designs at n = 100 primaries."""
     points = survival_sweep(designs, [n], ps, runs=runs, seed=seed, engine=engine)

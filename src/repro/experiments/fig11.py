@@ -10,11 +10,13 @@ square-electrode chip.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.assays.chipspec import PAPER_USED_COUNT, fabricated_chip
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.yieldsim.analytical import yield_no_redundancy
+from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.sweeps import DEFAULT_P_GRID
 
 __all__ = ["Fig11Result", "run", "PAPER_BASELINE_P", "PAPER_BASELINE_YIELD"]
@@ -52,8 +54,25 @@ class Fig11Result:
         return format_table(self.headers, self.rows)
 
 
-def run(ps: Sequence[float] = DEFAULT_P_GRID) -> Fig11Result:
-    """Yield curve of the fabricated chip (exact, no simulation needed)."""
+@register(
+    "fig11",
+    title="Fabricated-chip baseline: Y = p^108, 0.3378 at p = 0.99",
+    paper_ref="Figure 11",
+    order=70,
+    budget=BudgetPolicy(deterministic=True),
+)
+def run(
+    *,
+    runs: int = 0,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
+    ps: Sequence[float] = DEFAULT_P_GRID,
+) -> Fig11Result:
+    """Yield curve of the fabricated chip (exact, no simulation needed).
+
+    Deterministic: ``runs``, ``seed`` and ``engine`` are accepted for the
+    uniform experiment signature but have no effect.
+    """
     chip = fabricated_chip()
     cells = len(chip)
     assert cells == PAPER_USED_COUNT

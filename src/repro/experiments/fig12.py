@@ -17,9 +17,11 @@ from repro.assays.chipspec import DiagnosticsChip, redesigned_chip
 from repro.assays.library import GLUCOSE_ASSAY
 from repro.assays.runner import AssayResult, MultiplexedRunner
 from repro.errors import AssayError
+from repro.experiments.registry import BudgetPolicy, register
 from repro.faults.injection import FixedCountInjector
 from repro.reconfig.local import RepairPlan, plan_local_repair
 from repro.viz.ascii_art import render_chip, render_legend
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["Fig12Result", "run"]
 
@@ -61,13 +63,28 @@ class Fig12Result:
         return "\n".join(lines)
 
 
+@register(
+    "fig12",
+    title="DTMB(2,6) redesign and a 10-fault local reconfiguration",
+    paper_ref="Figure 12",
+    order=80,
+    budget=BudgetPolicy(deterministic=True),
+    tabular=False,
+)
 def run(
-    m: int = PAPER_FAULT_COUNT,
+    *,
+    runs: int = 0,
     seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
+    m: int = PAPER_FAULT_COUNT,
     run_assay: bool = True,
     glucose_concentration: float = 5e-3,
 ) -> Fig12Result:
-    """Inject ``m`` seeded faults, repair, render, optionally run an assay."""
+    """Inject ``m`` seeded faults, repair, render, optionally run an assay.
+
+    One seeded demonstration, not a sweep: ``runs`` and ``engine`` are
+    accepted for the uniform experiment signature but have no effect.
+    """
     layout = redesigned_chip()
     chip = layout.chip
     fault_map = FixedCountInjector(m).sample(chip, seed=seed)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.assays.chipspec import DiagnosticsChip, redesigned_chip
+from repro.experiments.registry import register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.engine import SweepEngine
@@ -79,11 +80,19 @@ class Fig13Result:
         )
 
 
+@register(
+    "fig13",
+    title="Yield of the redesigned chip vs number of random faults",
+    paper_ref="Figure 13",
+    order=90,
+    charts=lambda raw: (("yield-vs-m", raw.format_chart()),),
+)
 def run(
-    ms: Sequence[int] = DEFAULT_MS,
+    *,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    ms: Sequence[int] = DEFAULT_MS,
 ) -> Fig13Result:
     """The Figure 13 sweep on the 252+91-cell redesigned chip."""
     layout = redesigned_chip()

@@ -11,11 +11,13 @@ constant one-cell cost of interstitial redundancy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.designs.boundary import SpareRowArray
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.reconfig.shifted import shifted_cost_by_fault_row
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["Fig2Result", "run", "default_array"]
 
@@ -44,8 +46,25 @@ class Fig2Result:
         return max(int(r[3]) for r in self.rows)
 
 
-def run(array: SpareRowArray = None) -> Fig2Result:
-    """Cost table for one fault per module (worst row of each module)."""
+@register(
+    "fig2",
+    title="Reconfiguration cost of boundary spare rows vs interstitial",
+    paper_ref="Figure 2",
+    order=20,
+    budget=BudgetPolicy(deterministic=True),
+)
+def run(
+    *,
+    runs: int = 0,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
+    array: Optional[SpareRowArray] = None,
+) -> Fig2Result:
+    """Cost table for one fault per module (worst row of each module).
+
+    Deterministic: ``runs``, ``seed`` and ``engine`` are accepted for the
+    uniform experiment signature but have no effect.
+    """
     array = array or default_array()
     records = shifted_cost_by_fault_row(array)
     # One representative row per module: the module's farthest-from-spare

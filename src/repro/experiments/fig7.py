@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.interstitial import build_flower_chip
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
@@ -66,14 +67,23 @@ class Fig7Result:
         )
 
 
+@register(
+    "fig7",
+    title="Analytical yield of DTMB(1,6) vs the non-redundant baseline",
+    paper_ref="Figure 7",
+    order=40,
+    budget=BudgetPolicy(gate="mc_check"),
+    charts=lambda raw: (("yield-vs-p", raw.format_chart()),),
+)
 def run(
-    ns: Sequence[int] = DEFAULT_NS,
-    ps: Sequence[float] = DEFAULT_P_GRID,
-    montecarlo_runs: int = 0,
+    *,
+    runs: int = 0,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    ns: Sequence[int] = DEFAULT_NS,
+    ps: Sequence[float] = DEFAULT_P_GRID,
 ) -> Fig7Result:
-    """Analytical Figure 7; set ``montecarlo_runs`` > 0 to cross-check.
+    """Analytical Figure 7; set ``runs`` > 0 to add a Monte-Carlo check.
 
     The Monte-Carlo column simulates a flower-complete DTMB(1,6) array
     (every primary owns its spare, as the cluster model assumes) with the
@@ -88,10 +98,10 @@ def run(
             (p, yield_no_redundancy(p, n)) for p in ps
         ]
     check: Dict[float, float] = {}
-    if montecarlo_runs > 0:
+    if runs > 0:
         chip = build_flower_chip(ns[0])
         estimates = (engine or default_engine()).survival_estimates(
-            chip, [(p, seed + i) for i, p in enumerate(ps)], montecarlo_runs
+            chip, [(p, seed + i) for i, p in enumerate(ps)], runs
         )
         check = {p: est.value for p, est in zip(ps, estimates)}
     return Fig7Result(

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import DTMB_2_6, DTMB_3_6, DTMB_4_4
 from repro.designs.spec import DesignSpec
+from repro.experiments.registry import register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.engine import SweepEngine
@@ -79,13 +80,23 @@ class Fig9Result:
         )
 
 
+@register(
+    "fig9",
+    title="Monte-Carlo yield of DTMB(2,6), DTMB(3,6) and DTMB(4,4)",
+    paper_ref="Figure 9",
+    order=50,
+    charts=lambda raw: tuple(
+        (f"n-{n}", raw.format_chart(n)) for n in sorted({pt.n for pt in raw.points})
+    ),
+)
 def run(
-    designs: Sequence[DesignSpec] = DEFAULT_DESIGNS,
-    ns: Sequence[int] = DEFAULT_NS,
-    ps: Sequence[float] = DEFAULT_P_GRID,
+    *,
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    designs: Sequence[DesignSpec] = DEFAULT_DESIGNS,
+    ns: Sequence[int] = DEFAULT_NS,
+    ps: Sequence[float] = DEFAULT_P_GRID,
 ) -> Fig9Result:
     """The Figure 9 sweep (paper defaults: 10 000 runs per point).
 

@@ -11,15 +11,17 @@ ASCII rendering per design.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import ALL_DESIGNS
 from repro.designs.interstitial import build_chip
 from repro.designs.spec import DesignSpec
 from repro.designs.verify import verify_design
+from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.geometry.hexgrid import RectRegion
 from repro.viz.ascii_art import render_chip
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["LayoutsResult", "run"]
 
@@ -42,10 +44,29 @@ class LayoutsResult:
         return text
 
 
+@register(
+    "figs3to6",
+    title="DTMB layouts and their verified graph structure",
+    paper_ref="Figures 3-6",
+    order=30,
+    budget=BudgetPolicy(deterministic=True),
+    report=lambda raw, options: raw.format_report(
+        with_layouts=bool(options.get("chart"))
+    ),
+)
 def run(
-    designs: Sequence[DesignSpec] = ALL_DESIGNS, size: int = DEFAULT_SIZE
+    *,
+    runs: int = 0,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
+    designs: Sequence[DesignSpec] = ALL_DESIGNS,
+    size: int = DEFAULT_SIZE,
 ) -> LayoutsResult:
-    """Build, verify and render each design on a ``size x size`` array."""
+    """Build, verify and render each design on a ``size x size`` array.
+
+    Deterministic: ``runs``, ``seed`` and ``engine`` are accepted for the
+    uniform experiment signature but have no effect.
+    """
     rows: List[Tuple[object, ...]] = []
     renderings: Dict[str, str] = {}
     for spec in designs:

@@ -9,13 +9,15 @@ grows — the boundary-clipping effect Definition 2 glosses over.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import TABLE1_DESIGNS
 from repro.designs.interstitial import build_chip
 from repro.designs.spec import DesignSpec
 from repro.experiments.report import format_table
+from repro.experiments.registry import BudgetPolicy, register
 from repro.geometry.hexgrid import RectRegion
+from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["Table1Result", "run"]
 
@@ -48,11 +50,26 @@ class Table1Result:
         return format_table(self.headers, self.rows)
 
 
+@register(
+    "table1",
+    title="Redundancy ratios of the defect-tolerant architectures",
+    paper_ref="Table 1",
+    order=10,
+    budget=BudgetPolicy(deterministic=True),
+)
 def run(
+    *,
+    runs: int = 0,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
     designs: Sequence[DesignSpec] = TABLE1_DESIGNS,
     sizes: Sequence[int] = DEFAULT_SIZES,
 ) -> Table1Result:
-    """Compute Table 1 with finite-size convergence columns."""
+    """Compute Table 1 with finite-size convergence columns.
+
+    Deterministic: ``runs``, ``seed`` and ``engine`` are accepted for the
+    uniform experiment signature but have no effect.
+    """
     rows = []
     for spec in designs:
         finite = []

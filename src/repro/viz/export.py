@@ -1,18 +1,35 @@
-"""CSV export of experiment series.
+"""Tabular export of experiment series: CSV and JSON, plus readers.
 
-Experiment drivers expose their rows as plain sequences; this writer keeps
-the on-disk format trivial (RFC-4180 via the stdlib) so results can be
-re-plotted with any external tool.
+Experiment drivers expose their rows as plain sequences; these writers
+keep the on-disk formats trivial (RFC-4180 CSV via the stdlib, one JSON
+object with ``headers``/``rows`` keys) so results can be re-plotted or
+diffed with any external tool.  The matching readers exist so artifact
+round-trips can be verified without hand-rolled parsing in every test.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import IO, Iterable, Sequence, Union
+import json
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ReproError
 
-__all__ = ["write_csv"]
+__all__ = ["write_csv", "read_csv", "write_json", "read_json"]
+
+
+def _validated_rows(
+    header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[Sequence[object]]:
+    """Materialize ``rows``, checking each against the header width."""
+    out: List[Sequence[object]] = []
+    for row in rows:
+        if len(row) != len(header):
+            raise ReproError(
+                f"row {len(out)} has {len(row)} fields, header has {len(header)}"
+            )
+        out.append(row)
+    return out
 
 
 def write_csv(
@@ -28,20 +45,103 @@ def write_csv(
     if not header:
         raise ReproError("CSV header must not be empty")
 
+    data = _validated_rows(header, rows)
+
     def _write(handle: IO[str]) -> int:
         writer = csv.writer(handle)
         writer.writerow(header)
-        count = 0
-        for row in rows:
-            if len(row) != len(header):
-                raise ReproError(
-                    f"row {count} has {len(row)} fields, header has {len(header)}"
-                )
-            writer.writerow(row)
-            count += 1
-        return count
+        writer.writerows(data)
+        return len(data)
 
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8", newline="") as handle:
             return _write(handle)
     return _write(destination)
+
+
+def read_csv(source: Union[str, IO[str]]) -> Tuple[List[str], List[List[str]]]:
+    """Read a CSV written by :func:`write_csv` back as (header, rows).
+
+    All cells come back as strings — CSV has no types — which is exactly
+    what round-trip checks compare against ``str()`` of the driver rows.
+    """
+
+    def _read(handle: IO[str]) -> Tuple[List[str], List[List[str]]]:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ReproError("CSV file is empty") from None
+        return header, [list(row) for row in reader]
+
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def write_json(
+    destination: Union[str, IO[str]],
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    metadata: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write a table as one JSON object: ``{"headers", "rows", ...metadata}``.
+
+    Cell values that are not JSON-native serialize via ``str``; metadata
+    keys (e.g. a provenance block) merge into the top-level object and may
+    not collide with ``headers``/``rows``.  Returns the data row count.
+    """
+    if not header:
+        raise ReproError("JSON table header must not be empty")
+    metadata = dict(metadata or {})
+    for reserved in ("headers", "rows"):
+        if reserved in metadata:
+            raise ReproError(f"metadata key {reserved!r} is reserved")
+    data = _validated_rows(header, rows)
+    payload: Dict[str, object] = {
+        "headers": [str(h) for h in header],
+        "rows": [list(row) for row in data],
+        **metadata,
+    }
+
+    def _write(handle: IO[str]) -> int:
+        json.dump(payload, handle, indent=2, sort_keys=False, default=str)
+        handle.write("\n")
+        return len(data)
+
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return _write(handle)
+    return _write(destination)
+
+
+def read_json(source: Union[str, IO[str]]) -> Dict[str, object]:
+    """Read a JSON table written by :func:`write_json`.
+
+    Validates the ``headers``/``rows`` shape (present, consistent widths)
+    and returns the whole object, metadata included.
+    """
+
+    def _read(handle: IO[str]) -> Dict[str, object]:
+        payload = json.load(handle)
+        if not isinstance(payload, dict) or "headers" not in payload or "rows" not in payload:
+            raise ReproError("JSON table must be an object with headers and rows")
+        header = payload["headers"]
+        if not isinstance(header, list) or not header:
+            raise ReproError("JSON table headers must be a non-empty list")
+        if not isinstance(payload["rows"], list):
+            raise ReproError("JSON table rows must be a list")
+        for i, row in enumerate(payload["rows"]):
+            if not isinstance(row, list):
+                raise ReproError(f"row {i} is not a list")
+            if len(row) != len(header):
+                raise ReproError(
+                    f"row {i} has {len(row)} fields, header has {len(header)}"
+                )
+        return payload
+
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.experiments import registry
 
 
 @pytest.mark.slow
@@ -25,8 +28,34 @@ def test_cli_all_reduced_budget(capsys):
         "fig13",
         "ablation-matching",
         "ablation-defects",
+        "ablation-hexsquare",
         "targeting",
     ):
         assert f"=== {section} ===" in out
     # The exact headline number must appear regardless of budget.
     assert "0.3378" in out
+
+
+@pytest.mark.slow
+def test_cli_all_writes_artifact_bundle(capsys, tmp_path):
+    """The acceptance path: `repro all --runs 50 --out DIR` produces a
+    manifest plus one CSV+JSON pair per tabular experiment, with the
+    dispatch seed recorded in every provenance block."""
+    out = tmp_path / "artifacts"
+    assert main(["all", "--runs", "50", "--seed", "123", "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["command"] == {
+        "runs": 50, "seed": 123, "jobs": 1, "cache_dir": None,
+    }
+    assert sorted(manifest["experiments"]) == sorted(registry.names())
+    for experiment in registry.all_experiments():
+        entry = manifest["experiments"][experiment.name]
+        assert entry["provenance"]["seed"] == 123
+        assert (out / entry["files"]["report"]).exists()
+        if experiment.tabular:
+            assert (out / entry["files"]["csv"]).exists()
+            assert (out / entry["files"]["json"]).exists()
+        else:
+            assert "csv" not in entry["files"]

@@ -86,7 +86,7 @@ class TestFig7:
                 assert y >= baseline
 
     def test_montecarlo_validates_cluster_model(self):
-        result = fig7.run(ns=[60], montecarlo_runs=4000)
+        result = fig7.run(ns=[60], runs=4000)
         from repro.yieldsim.analytical import dtmb16_yield
 
         for p, mc in result.montecarlo_check.items():
@@ -204,7 +204,7 @@ class TestFig13:
 
 class TestAblations:
     def test_matching_ablation(self):
-        result = ablation_matching.run(n=100, p=0.93, trials=250)
+        result = ablation_matching.run(n=100, p=0.93, runs=250)
         assert result.kuhn_hk_mismatches == 0
         assert result.repaired["greedy"] <= result.repaired["hopcroft-karp"]
         assert result.disagreements >= 0
@@ -212,7 +212,7 @@ class TestAblations:
 
     def test_defect_model_ablation(self):
         result = ablation_defects.run(
-            n=100, expected_faults=(3.0, 6.0), trials=250
+            n=100, expected_faults=(3.0, 6.0), runs=250
         )
         gaps = result.gaps()
         # Clustered defects must hurt at least as much as independent ones.

@@ -1,0 +1,361 @@
+"""Tests for the experiment registry, generic dispatch and artifact pipeline.
+
+Every registered experiment must run at a tiny budget through the generic
+dispatcher, its CSV/JSON artifacts must round-trip (headers <-> rows <->
+parsed file), and its manifest provenance must record the seed and budget
+actually used.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+from repro.experiments.artifacts import MANIFEST_NAME, ArtifactRun
+from repro.experiments.registry import BudgetPolicy, ExperimentResult
+from repro.viz.export import read_csv, read_json
+
+TINY_SEED = 77
+TINY_RUNS = 60
+
+#: Per-experiment grid shrinks so the whole registry dispatches in seconds.
+TINY_KNOBS = {
+    "table1": {"sizes": [8, 16]},
+    "figs3to6": {"size": 8},
+    "fig7": {"ns": [60]},
+    "fig9": {"ns": [60], "ps": [0.92, 1.0]},
+    "fig10": {"ps": [0.90, 0.99]},
+    "fig13": {"ms": [5, 35]},
+    "ablation-matching": {"n": 60},
+    "ablation-defects": {"n": 60, "expected_faults": (2.0,)},
+    "ablation-hexsquare": {"side": 8},
+    "targeting": {"n": 60, "targets": (0.50,), "ps": (0.99,)},
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Every experiment executed once through the generic dispatcher."""
+    out = {}
+    for experiment in registry.all_experiments():
+        out[experiment.name] = registry.execute(
+            experiment,
+            runs=TINY_RUNS,
+            seed=TINY_SEED,
+            options={"mc_check": True},
+            knobs=TINY_KNOBS.get(experiment.name, {}),
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def run_dir(results, tmp_path_factory):
+    """An artifact run directory holding every experiment's artifacts."""
+    out = tmp_path_factory.mktemp("artifacts")
+    run = ArtifactRun(str(out), runs=TINY_RUNS, seed=TINY_SEED)
+    for result in results.values():
+        run.add(result)
+    run.finalize()
+    return out
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert registry.names() == [
+            "table1",
+            "fig2",
+            "figs3to6",
+            "fig7",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablation-matching",
+            "ablation-defects",
+            "ablation-hexsquare",
+            "targeting",
+        ]
+
+    def test_alias_resolves(self):
+        assert registry.get("design-targeting").name == "targeting"
+
+    def test_unknown_name_lists_known(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="fig9"):
+            registry.get("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register(
+                "other", title="x", paper_ref="x", order=999, aliases=("fig9",)
+            )(lambda **kwargs: None)
+
+    def test_budget_policies(self):
+        assert BudgetPolicy().effective(123, {}) == 123
+        assert BudgetPolicy(divisor=5, floor=100).effective(10_000, {}) == 2000
+        assert BudgetPolicy(divisor=5, floor=100).effective(50, {}) == 100
+        assert BudgetPolicy(deterministic=True).effective(10_000, {}) == 0
+        gated = BudgetPolicy(gate="mc_check")
+        assert gated.effective(500, {}) == 0
+        assert gated.effective(500, {"mc_check": True}) == 500
+
+
+class TestGenericDispatch:
+    def test_every_experiment_runs(self, results):
+        for name, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.report.strip(), name
+
+    def test_tabular_results_carry_consistent_tables(self, results):
+        for name, result in results.items():
+            if not result.experiment.tabular:
+                assert result.headers is None and result.rows is None
+                continue
+            assert result.headers and result.rows, name
+            for row in result.rows:
+                assert len(row) == len(result.headers), name
+
+    def test_provenance_records_dispatch(self, results):
+        for name, result in results.items():
+            prov = result.provenance
+            assert prov.experiment == name
+            assert prov.seed == TINY_SEED
+            assert prov.runs_requested == TINY_RUNS
+            assert prov.runs_effective == result.experiment.budget.effective(
+                TINY_RUNS, {"mc_check": True}
+            )
+            assert prov.wall_time_s >= 0
+            assert len(prov.digest) == 64 and int(prov.digest, 16) >= 0
+
+    def test_report_matches_direct_driver_call(self):
+        """The dispatcher adds nothing to what the driver itself renders."""
+        from repro.experiments import table1
+
+        via_registry = registry.execute("table1", runs=50, seed=1).report
+        assert via_registry == table1.run().format_report()
+
+    def test_seed_threads_through_to_driver(self):
+        a = registry.execute("fig13", runs=80, seed=3, knobs={"ms": [10]})
+        b = registry.execute("fig13", runs=80, seed=3, knobs={"ms": [10]})
+        c = registry.execute("fig13", runs=80, seed=4, knobs={"ms": [10]})
+        assert a.rows == b.rows
+        assert a.provenance.digest == b.provenance.digest
+        assert c.provenance.seed == 4
+
+    def test_engine_config_recorded(self, tmp_path):
+        from repro.yieldsim.engine import SweepEngine
+
+        cache = str(tmp_path / "cache")
+        engine = SweepEngine(jobs=1, cache_dir=cache)
+        first = registry.execute(
+            "fig13", runs=60, seed=9, engine=engine, knobs={"ms": [5, 10]}
+        )
+        again = registry.execute(
+            "fig13", runs=60, seed=9, engine=engine, knobs={"ms": [5, 10]}
+        )
+        assert first.provenance.engine_cache_dir == cache
+        assert first.provenance.cache_misses == 2
+        assert again.provenance.cache_hits == 2
+        assert again.rows == first.rows
+
+
+class TestArtifacts:
+    def test_manifest_lists_every_experiment(self, run_dir, results):
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        assert sorted(manifest["experiments"]) == sorted(results)
+        assert manifest["command"]["seed"] == TINY_SEED
+        assert manifest["command"]["runs"] == TINY_RUNS
+
+    def test_tabular_experiments_get_csv_json_pair(self, run_dir, results):
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        for name, result in results.items():
+            files = manifest["experiments"][name]["files"]
+            assert os.path.exists(run_dir / files["report"])
+            if result.experiment.tabular:
+                assert files["csv"] == f"{name}/{name}.csv"
+                assert files["json"] == f"{name}/{name}.json"
+            else:
+                assert "csv" not in files and "json" not in files
+
+    def test_csv_roundtrip(self, run_dir, results):
+        for name, result in results.items():
+            if not result.experiment.tabular:
+                continue
+            header, rows = read_csv(str(run_dir / name / f"{name}.csv"))
+            assert header == list(result.headers)
+            assert rows == [[str(v) for v in row] for row in result.rows]
+
+    def test_json_roundtrip_and_provenance(self, run_dir, results):
+        for name, result in results.items():
+            if not result.experiment.tabular:
+                continue
+            payload = read_json(str(run_dir / name / f"{name}.json"))
+            assert payload["headers"] == list(result.headers)
+            got = [[str(v) for v in row] for row in payload["rows"]]
+            want = [[str(v) for v in row] for row in result.rows]
+            assert got == want
+            prov = payload["provenance"]
+            assert prov["seed"] == TINY_SEED
+            assert prov["digest"] == result.provenance.digest
+            # The JSON artifact must be byte-identical across engine
+            # configurations and machines: volatile/engine fields live
+            # only in manifest.json.
+            assert "engine" not in prov and "wall_time_s" not in prov
+
+    def test_manifest_provenance_matches_result(self, run_dir, results):
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        for name, result in results.items():
+            prov = manifest["experiments"][name]["provenance"]
+            assert prov["seed"] == result.provenance.seed
+            assert prov["runs_effective"] == result.provenance.runs_effective
+            assert prov["digest"] == result.provenance.digest
+            assert prov["engine"]["jobs"] == result.provenance.engine_jobs
+
+    def test_report_artifact_includes_epilogue(self, run_dir, results):
+        text = (run_dir / "fig10" / "report.txt").read_text()
+        assert "crossovers:" in text
+
+    def test_report_artifact_independent_of_chart_flag(self, tmp_path):
+        """report.txt is canonical: --chart must not leak layout art into
+        the figs3to6 artifact (bundles stay diffable across flag sets)."""
+        texts = []
+        for tag, chart in (("a", True), ("b", False)):
+            out = tmp_path / tag
+            run = ArtifactRun(str(out), runs=0, seed=TINY_SEED)
+            run.add(
+                registry.execute(
+                    "figs3to6",
+                    runs=0,
+                    seed=TINY_SEED,
+                    options={"chart": chart},
+                    knobs={"size": 8},
+                )
+            )
+            run.finalize()
+            texts.append((out / "figs3to6" / "report.txt").read_text())
+        assert texts[0] == texts[1]
+
+    def test_charts_written(self, run_dir):
+        assert (run_dir / "fig9" / "chart-n-60.txt").exists()
+
+    def test_bundle_byte_identical_except_manifest(self, tmp_path, results):
+        """Equal (runs, seed) bundles differ only in manifest.json, which
+        alone carries the volatile wall time / timestamp / cache fields."""
+        import filecmp
+
+        dirs = []
+        for tag in ("a", "b"):
+            out = tmp_path / tag
+            run = ArtifactRun(str(out), runs=TINY_RUNS, seed=TINY_SEED)
+            result = registry.execute(
+                "fig13", runs=TINY_RUNS, seed=TINY_SEED, knobs={"ms": [5, 10]}
+            )
+            run.add(result)
+            run.finalize()
+            dirs.append(out)
+        match, mismatch, errors = filecmp.cmpfiles(
+            dirs[0] / "fig13",
+            dirs[1] / "fig13",
+            os.listdir(dirs[0] / "fig13"),
+            shallow=False,
+        )
+        assert not mismatch and not errors
+        assert {"fig13.csv", "fig13.json", "report.txt"} <= set(match)
+
+    def test_incremental_fill_preserves_entries(self, tmp_path, results):
+        out = str(tmp_path / "run")
+        first = ArtifactRun(out, runs=TINY_RUNS, seed=TINY_SEED)
+        first.add(results["table1"])
+        first.finalize()
+        second = ArtifactRun(out, runs=TINY_RUNS, seed=TINY_SEED)
+        second.add(results["fig2"])
+        second.finalize()
+        manifest = json.loads(
+            open(os.path.join(out, MANIFEST_NAME)).read()
+        )
+        assert set(manifest["experiments"]) == {"table1", "fig2"}
+
+
+class TestExportReaders:
+    def test_malformed_json_tables_raise_repro_error(self, tmp_path):
+        import io
+
+        from repro.errors import ReproError
+
+        for payload in ('{"headers": ["a"], "rows": 5}',
+                        '{"headers": ["a"], "rows": [3]}',
+                        '{"headers": [], "rows": []}',
+                        '{"rows": []}',
+                        '[1, 2]'):
+            with pytest.raises(ReproError):
+                read_json(io.StringIO(payload))
+
+    def test_write_csv_validates_before_opening(self, tmp_path):
+        from repro.errors import ReproError
+        from repro.viz.export import write_csv
+
+        target = tmp_path / "out.csv"
+        with pytest.raises(ReproError):
+            write_csv(str(target), ["a", "b"], [(1,)])
+        assert not target.exists()  # nothing written on invalid input
+
+
+class TestCLI:
+    def test_list_enumerates_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+        assert "ablation-hexsquare" in out
+
+    def test_show_describes_experiment(self, capsys):
+        assert main(["show", "ablation-hexsquare"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 3 (ablation)" in out
+        assert "ablation_hexsquare.run" in out
+
+    def test_ablation_hexsquare_smoke(self, capsys):
+        """Satellite: the hex-vs-square ablation is reachable from the CLI."""
+        assert main(["ablation-hexsquare", "--runs", "50", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "hex route advantage" in out
+        assert "neighbors per interior cell" in out
+
+    def test_single_experiment_out_dir(self, capsys, tmp_path):
+        out = tmp_path / "bundle"
+        assert main(
+            ["fig2", "--out", str(out)]
+        ) == 0
+        assert (out / MANIFEST_NAME).exists()
+        assert (out / "fig2" / "fig2.csv").exists()
+        assert (out / "fig2" / "fig2.json").exists()
+
+    def test_csv_on_report_only_experiment_fails(self, tmp_path, capsys):
+        code = main(["fig12", "--csv", str(tmp_path / "nope.csv")])
+        assert code == 2
+        assert "no tabular data" in capsys.readouterr().err
+
+    def test_all_rejects_csv(self, tmp_path, capsys):
+        code = main(["all", "--csv", str(tmp_path / "nope.csv")])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_unknown_show_target_fails_cleanly(self, capsys):
+        code = main(["show", "not-an-experiment"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unwritable_out_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        code = main(["fig2", "--out", str(blocker)])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err

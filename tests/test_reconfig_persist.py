@@ -90,7 +90,7 @@ class TestHexSquareAblation:
     def test_runs_and_reports(self):
         from repro.experiments import ablation_hexsquare
 
-        result = ablation_hexsquare.run(side=8, pairs=60, seed=3)
+        result = ablation_hexsquare.run(side=8, runs=60, seed=3)
         assert result.mean_route_hex > 0
         assert result.mean_route_square > 0
         assert 0.0 <= result.connected_after_faults_hex <= 1.0
@@ -99,5 +99,5 @@ class TestHexSquareAblation:
     def test_hex_routes_shorter_on_average(self):
         from repro.experiments import ablation_hexsquare
 
-        result = ablation_hexsquare.run(side=10, pairs=150, seed=5)
+        result = ablation_hexsquare.run(side=10, runs=150, seed=5)
         assert result.mean_route_hex < result.mean_route_square
