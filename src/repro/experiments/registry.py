@@ -1,0 +1,448 @@
+"""Declarative experiment registry: one ``Experiment`` API per paper artifact.
+
+Every figure, table and ablation in the reproduction is a driver module
+exposing a uniform runner::
+
+    def run(*, runs=..., seed=2005, engine=None, **knobs) -> <driver result>
+
+and registering itself with the :func:`register` decorator.  The registry
+is what the CLI, the artifact pipeline, the benchmarks and the tests all
+dispatch through, so adding a new experiment is: write the driver, put
+``@register(...)`` on its ``run``, import the module from
+``repro.experiments`` — and ``repro list``, ``repro <name>``, ``repro all``
+and the artifact manifest pick it up with no hand-wired glue.
+
+The pieces
+----------
+:class:`Experiment`
+    The registration record: name, aliases, paper reference, a
+    :class:`BudgetPolicy` mapping the CLI ``--runs`` budget to the
+    driver's own Monte-Carlo budget, and renderers (report, epilogue,
+    charts) over the driver's native result object.
+:class:`BudgetPolicy`
+    Declarative budget scaling (``max(floor, runs // divisor)``), with a
+    gate for opt-in Monte-Carlo columns (Figure 7's ``--mc-check``) and a
+    ``deterministic`` mode for drivers that ignore the budget entirely.
+:func:`execute`
+    The generic dispatcher: resolves the experiment, applies the budget
+    policy, times the runner, snapshots engine cache counters, and wraps
+    everything in an :class:`ExperimentResult` whose
+    :class:`Provenance` block records the seed, budgets, engine
+    configuration, wall time, point-cache traffic and a stable digest of
+    the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ExperimentError
+from repro.yieldsim.engine import SweepEngine
+
+__all__ = [
+    "BudgetPolicy",
+    "Experiment",
+    "ExperimentResult",
+    "Provenance",
+    "register",
+    "get",
+    "all_experiments",
+    "names",
+    "execute",
+    "result_digest",
+]
+
+#: Paper default Monte-Carlo budget (runs per sweep point).
+DEFAULT_CLI_RUNS = 10_000
+
+#: Paper default RNG seed (the publication year).
+DEFAULT_SEED = 2005
+
+
+# -- budget policy ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Maps the user-facing ``--runs`` budget to a driver's own budget.
+
+    The effective budget is ``max(floor, runs // divisor)``.  Ablations
+    whose trials are more expensive than a sweep point scale the budget
+    down (``divisor > 1``) with a floor that keeps tiny CLI budgets
+    statistically meaningful — exactly the scaling the bespoke CLI
+    handlers used to hard-code.
+
+    ``gate`` names a dispatch option (e.g. ``"mc_check"``) that must be
+    truthy for any budget to be spent; otherwise the driver gets 0 runs
+    (Figure 7 renders its analytical table only).  ``deterministic``
+    drivers get 0 runs always — their output is exact.
+    """
+
+    divisor: int = 1
+    floor: int = 0
+    gate: Optional[str] = None
+    deterministic: bool = False
+
+    def effective(self, runs: int, options: Mapping[str, object]) -> int:
+        """The driver budget for a requested CLI budget and option set."""
+        if self.deterministic:
+            return 0
+        if self.gate is not None and not options.get(self.gate):
+            return 0
+        return max(self.floor, runs // self.divisor)
+
+    def describe(self) -> str:
+        """Human-readable policy, for ``repro show``."""
+        if self.deterministic:
+            return "deterministic (budget ignored)"
+        text = "runs" if self.divisor == 1 else f"runs // {self.divisor}"
+        if self.floor:
+            text = f"max({self.floor}, {text})"
+        if self.gate is not None:
+            text += f" if --{self.gate.replace('_', '-')} else 0"
+        return text
+
+
+# -- registration record ------------------------------------------------------
+
+ReportFn = Callable[[object, Mapping[str, object]], str]
+EpilogueFn = Callable[[object], Sequence[str]]
+ChartsFn = Callable[[object], Sequence[Tuple[str, str]]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered paper artifact and how to run/render it."""
+
+    name: str
+    runner: Callable[..., object]
+    title: str
+    paper_ref: str
+    order: int
+    aliases: Tuple[str, ...] = ()
+    budget: BudgetPolicy = field(default_factory=BudgetPolicy)
+    tabular: bool = True
+    report: Optional[ReportFn] = None
+    epilogue: Optional[EpilogueFn] = None
+    charts: Optional[ChartsFn] = None
+
+    @property
+    def has_charts(self) -> bool:
+        return self.charts is not None
+
+    def render_report(self, raw: object, options: Mapping[str, object]) -> str:
+        """The experiment's stdout report (drivers' ``format_report``)."""
+        if self.report is not None:
+            return self.report(raw, options)
+        return raw.format_report()
+
+    def render_epilogue(self, raw: object) -> Tuple[str, ...]:
+        """Extra report lines printed after the table (e.g. crossovers)."""
+        if self.epilogue is None:
+            return ()
+        return tuple(self.epilogue(raw))
+
+    def render_charts(self, raw: object) -> Tuple[Tuple[str, str], ...]:
+        """``(label, ascii chart)`` pairs, empty when unsupported."""
+        if self.charts is None:
+            return ()
+        return tuple(self.charts(raw))
+
+    def describe(self) -> str:
+        """Detail block for ``repro show``."""
+        lines = [
+            f"name:      {self.name}",
+            f"paper ref: {self.paper_ref}",
+            f"title:     {self.title}",
+            f"aliases:   {', '.join(self.aliases) if self.aliases else '-'}",
+            f"budget:    {self.budget.describe()}",
+            f"tabular:   {'yes (CSV/JSON artifacts)' if self.tabular else 'no (report only)'}",
+            f"charts:    {'yes' if self.has_charts else 'no'}",
+            f"driver:    {self.runner.__module__}.run",
+        ]
+        doc = (self.runner.__doc__ or "").strip().splitlines()
+        if doc:
+            lines.append(f"doc:       {doc[0].strip()}")
+        return "\n".join(lines)
+
+
+# -- provenance + uniform result ----------------------------------------------
+
+@dataclass(frozen=True)
+class Provenance:
+    """What produced a result: enough to reproduce or audit it."""
+
+    experiment: str
+    seed: int
+    runs_requested: int
+    runs_effective: int
+    engine_jobs: int
+    engine_cache_dir: Optional[str]
+    cache_hits: int
+    cache_misses: int
+    wall_time_s: float
+    digest: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "runs_requested": self.runs_requested,
+            "runs_effective": self.runs_effective,
+            "engine": {
+                "jobs": self.engine_jobs,
+                "cache_dir": self.engine_cache_dir,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
+            "wall_time_s": round(self.wall_time_s, 6),
+            "digest": self.digest,
+        }
+
+    def stable_dict(self) -> Dict[str, object]:
+        """The result-invariant subset: what goes into diffable artifacts.
+
+        Wall time, cache traffic, and the engine configuration (jobs and
+        the machine-local cache path — results are bit-identical across
+        them by the engine's contract) vary between runs that produce the
+        same numbers, so they live only in ``manifest.json`` (see
+        :mod:`repro.experiments.artifacts`); everything here is a pure
+        function of (experiment, seed, budget).
+        """
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "runs_requested": self.runs_requested,
+            "runs_effective": self.runs_effective,
+            "digest": self.digest,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Uniform wrapper every dispatch returns, whatever the driver."""
+
+    experiment: Experiment
+    raw: object
+    report: str
+    epilogue: Tuple[str, ...]
+    headers: Optional[Tuple[str, ...]]
+    rows: Optional[Tuple[Tuple[object, ...], ...]]
+    provenance: Provenance
+    #: lazy chart cache; charts render only when something consumes them
+    _charts: Optional[Tuple[Tuple[str, str], ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def charts(self) -> Tuple[Tuple[str, str], ...]:
+        """``(label, ascii chart)`` pairs, rendered on first access.
+
+        Plain report runs (no ``--chart``, no ``--out``) never pay for
+        chart rendering, matching the old bespoke handlers.
+        """
+        if self._charts is None:
+            object.__setattr__(
+                self, "_charts", self.experiment.render_charts(self.raw)
+            )
+        return self._charts
+
+    @property
+    def name(self) -> str:
+        return self.experiment.name
+
+    @property
+    def tabular(self) -> bool:
+        return self.headers is not None
+
+    def report_text(self) -> str:
+        """Report plus epilogue lines — what ``repro <name>`` prints."""
+        return "\n".join((self.report, *self.epilogue))
+
+    def canonical_report_text(self) -> str:
+        """Report rendered at default options, plus epilogue lines.
+
+        This is what the artifact pipeline writes to ``report.txt``: for
+        every experiment whose report ignores rendering options it equals
+        :meth:`report_text`; for option-sensitive reports (figs3to6 embeds
+        layout art under ``--chart``) it is the flag-independent form, so
+        bundles stay byte-identical whatever flags produced them.
+        """
+        canonical = self.experiment.render_report(self.raw, {})
+        return "\n".join((canonical, *self.epilogue))
+
+
+def result_digest(
+    headers: Optional[Sequence[str]],
+    rows: Optional[Sequence[Sequence[object]]],
+    report: str,
+) -> str:
+    """Stable SHA-256 of a result: its table if tabular, else its report."""
+    if headers is not None:
+        blob = json.dumps(
+            {
+                "headers": list(headers),
+                "rows": [[str(v) for v in row] for row in rows or ()],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    else:
+        blob = report
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- the registry -------------------------------------------------------------
+
+_REGISTRY: Dict[str, Experiment] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(
+    name: str,
+    *,
+    title: str,
+    paper_ref: str,
+    order: int,
+    aliases: Sequence[str] = (),
+    budget: Optional[BudgetPolicy] = None,
+    tabular: bool = True,
+    report: Optional[ReportFn] = None,
+    epilogue: Optional[EpilogueFn] = None,
+    charts: Optional[ChartsFn] = None,
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Class the decorated ``run`` function as a registered experiment.
+
+    Returns the function unchanged, so ``<module>.run(...)`` keeps working
+    for direct callers (tests, benchmarks, notebooks).
+    """
+
+    def decorate(fn: Callable[..., object]) -> Callable[..., object]:
+        experiment = Experiment(
+            name=name,
+            runner=fn,
+            title=title,
+            paper_ref=paper_ref,
+            order=order,
+            aliases=tuple(aliases),
+            budget=budget if budget is not None else BudgetPolicy(),
+            tabular=tabular,
+            report=report,
+            epilogue=epilogue,
+            charts=charts,
+        )
+        _add(experiment)
+        return fn
+
+    return decorate
+
+
+def _add(experiment: Experiment) -> None:
+    for key in (experiment.name, *experiment.aliases):
+        owner = _ALIASES.get(key)
+        if owner is not None and owner != experiment.name:
+            raise ExperimentError(
+                f"experiment name/alias {key!r} already registered by {owner!r}"
+            )
+    previous = _REGISTRY.get(experiment.name)
+    if previous is not None:
+        # Re-registration (module reload) replaces the record in place.
+        for alias in previous.aliases:
+            _ALIASES.pop(alias, None)
+    _REGISTRY[experiment.name] = experiment
+    _ALIASES[experiment.name] = experiment.name
+    for alias in experiment.aliases:
+        _ALIASES[alias] = experiment.name
+
+
+def get(name: str) -> Experiment:
+    """Look up an experiment by name or alias."""
+    canonical = _ALIASES.get(name)
+    if canonical is None:
+        known = ", ".join(names())
+        raise ExperimentError(f"unknown experiment {name!r} (known: {known})")
+    return _REGISTRY[canonical]
+
+
+def all_experiments() -> List[Experiment]:
+    """Every registered experiment, in paper (registration-order) order."""
+    return sorted(_REGISTRY.values(), key=lambda e: (e.order, e.name))
+
+
+def names() -> List[str]:
+    """Canonical experiment names, in paper order."""
+    return [experiment.name for experiment in all_experiments()]
+
+
+# -- generic dispatch ---------------------------------------------------------
+
+def execute(
+    experiment: Union[str, Experiment],
+    *,
+    runs: int = DEFAULT_CLI_RUNS,
+    seed: int = DEFAULT_SEED,
+    engine: Optional[SweepEngine] = None,
+    options: Optional[Mapping[str, object]] = None,
+    knobs: Optional[Mapping[str, object]] = None,
+) -> ExperimentResult:
+    """Run one experiment through the uniform pipeline.
+
+    ``runs``/``seed`` are the user-facing budget and seed; the experiment's
+    :class:`BudgetPolicy` derives the driver budget.  ``options`` are
+    rendering/dispatch flags (``chart``, ``mc_check``); ``knobs`` are
+    passed through to the driver verbatim (grid overrides etc.).
+    """
+    if isinstance(experiment, str):
+        experiment = get(experiment)
+    options = dict(options or {})
+    effective = experiment.budget.effective(runs, options)
+
+    hits0 = engine.cache_hits if engine is not None else 0
+    misses0 = engine.cache_misses if engine is not None else 0
+    start = time.perf_counter()
+    raw = experiment.runner(
+        runs=effective, seed=seed, engine=engine, **dict(knobs or {})
+    )
+    wall = time.perf_counter() - start
+
+    report = experiment.render_report(raw, options)
+    epilogue = experiment.render_epilogue(raw)
+    headers: Optional[Tuple[str, ...]] = None
+    rows: Optional[Tuple[Tuple[object, ...], ...]] = None
+    if experiment.tabular:
+        headers = tuple(str(h) for h in raw.headers)
+        rows = tuple(tuple(row) for row in raw.rows)
+
+    provenance = Provenance(
+        experiment=experiment.name,
+        seed=seed,
+        runs_requested=runs,
+        runs_effective=effective,
+        engine_jobs=engine.jobs if engine is not None else 1,
+        engine_cache_dir=engine.cache_dir if engine is not None else None,
+        cache_hits=(engine.cache_hits - hits0) if engine is not None else 0,
+        cache_misses=(engine.cache_misses - misses0) if engine is not None else 0,
+        wall_time_s=wall,
+        digest=result_digest(headers, rows, report),
+    )
+    return ExperimentResult(
+        experiment=experiment,
+        raw=raw,
+        report=report,
+        epilogue=epilogue,
+        headers=headers,
+        rows=rows,
+        provenance=provenance,
+    )
