@@ -1,0 +1,90 @@
+"""Adaptive sequential budgets on the Figure 9 sweep: same precision, fewer runs.
+
+The acceptance claim: an adaptive run of fig9's sweep reaches the same
+target half-width as the flat budget while spending measurably fewer
+total Monte-Carlo runs — and sharded execution stays bit-identical to
+serial at fixed budget.  The target is taken from the flat run itself
+(its worst achieved half-width), so the comparison is apples-to-apples
+at any ``REPRO_BENCH_RUNS``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import FULL_RUNS, report
+
+from repro.experiments import fig9
+from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.stats import StopRule, wilson_half_width
+
+#: One array size keeps the bench tight; the full default design set and
+#: p-grid still give 33 points per pass.
+NS = (60,)
+
+
+def _half_widths(result):
+    return [
+        wilson_half_width(pt.estimate.successes, pt.estimate.trials)
+        for pt in result.points
+    ]
+
+
+def test_bench_fig9_adaptive_meets_target_with_fewer_runs(benchmark):
+    if FULL_RUNS < 100:
+        pytest.skip("adaptive stopping needs a non-trivial budget to save runs")
+
+    flat_engine = SweepEngine()
+    flat = fig9.run(runs=FULL_RUNS, seed=2005, ns=NS, engine=flat_engine)
+    target = max(_half_widths(flat))
+
+    batch = max(10, FULL_RUNS // 10)
+    rule = StopRule(
+        target_half_width=target, min_runs=batch, batch_runs=batch
+    )
+    adaptive_engine = SweepEngine()
+    adaptive = benchmark.pedantic(
+        fig9.run,
+        kwargs=dict(
+            runs=FULL_RUNS, seed=2005, ns=NS, engine=adaptive_engine, stop=rule
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    requested = adaptive_engine.runs_requested
+    effective = adaptive_engine.runs_effective
+    report(
+        "Figure 9 adaptive vs flat budget",
+        "\n".join(
+            [
+                f"points:          {len(adaptive.points)}",
+                f"target ±:        {target:.4f} (flat worst-case)",
+                f"flat budget:     {len(flat.points) * FULL_RUNS} runs",
+                f"adaptive budget: {effective} of {requested} runs "
+                f"({100.0 * effective / requested:.0f}%)",
+            ]
+        ),
+    )
+
+    # Every point reached the figure's precision or spent the ceiling.
+    for pt, achieved in zip(adaptive.points, _half_widths(adaptive)):
+        assert achieved <= target or pt.estimate.trials == FULL_RUNS, (
+            f"{pt.design} p={pt.p}: ±{achieved:.4f} after {pt.estimate.trials}"
+        )
+    # Measurably fewer total runs than the flat budget.
+    assert effective < requested
+    assert effective <= 0.95 * requested, (
+        f"adaptive spent {effective}/{requested} runs - no measurable saving"
+    )
+
+
+def test_bench_sharded_fixed_budget_bit_identity():
+    """serial == parallel == sharded at fixed budget, on a real sweep point."""
+    runs = min(FULL_RUNS, 4000)
+    shard = max(10, runs // 8)
+    kwargs = dict(runs=runs, seed=2005, ns=NS)
+    serial = fig9.run(engine=SweepEngine(shard_runs=shard), **kwargs)
+    parallel = fig9.run(engine=SweepEngine(jobs=4, shard_runs=shard), **kwargs)
+    assert [
+        (pt.estimate.successes, pt.estimate.trials) for pt in serial.points
+    ] == [(pt.estimate.successes, pt.estimate.trials) for pt in parallel.points]

@@ -20,7 +20,14 @@ Registering a new experiment (one ``@register`` decorator on its driver's
 
 Every experiment honors ``--runs`` (Monte-Carlo budget; paper default
 10 000, scaled per experiment by its registered budget policy) and
-``--seed``.  ``--csv`` exports the rows of any tabular experiment;
+``--seed``.  ``--adaptive`` switches the Monte-Carlo sweeps to sequential
+budgets — each point stops once its Wilson interval meets the
+experiment's registered target half-width (override with
+``--target-ci W``), with ``--runs`` as the flat ceiling; the manifest
+provenance records requested vs. effective runs per point.
+``--shard-runs N`` splits huge points into N-run, ``SeedSequence``-seeded
+shards so a single p-grid corner can use every ``--jobs`` worker.
+``--csv`` exports the rows of any tabular experiment;
 ``--out DIR`` writes the full artifact bundle (CSV + JSON + report +
 ASCII charts per experiment, plus a ``manifest.json`` with provenance:
 seed, effective budget, engine jobs/cache traffic, result digest).
@@ -61,7 +68,8 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
     """
     jobs = getattr(args, "jobs", 1)
     cache = getattr(args, "cache", None) or None  # "" means no cache
-    if jobs == 1 and cache is None:
+    shard_runs = getattr(args, "shard_runs", None)
+    if jobs == 1 and cache is None and shard_runs is None:
         return None
 
     last_bucket = [-1]
@@ -74,7 +82,9 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
             last_bucket[0] = bucket
             print(f"  [{done}/{total} points]", file=sys.stderr)
 
-    return SweepEngine(jobs=jobs, cache_dir=cache, progress=progress)
+    return SweepEngine(
+        jobs=jobs, cache_dir=cache, progress=progress, shard_runs=shard_runs
+    )
 
 
 def _artifact_run(args: argparse.Namespace) -> Optional[ArtifactRun]:
@@ -91,12 +101,24 @@ def _artifact_run(args: argparse.Namespace) -> Optional[ArtifactRun]:
 
 # --- the generic dispatcher --------------------------------------------------
 
+def _target_ci_from_args(args: argparse.Namespace) -> Optional[float]:
+    """The validated --target-ci value (re-targets each experiment's
+    registered rule), or None."""
+    target = getattr(args, "target_ci", None)
+    if target is None:
+        return None
+    if target <= 0:
+        raise ExperimentError(f"--target-ci must be > 0, got {target}")
+    return target
+
+
 def _execute(
     experiment: Experiment,
     args: argparse.Namespace,
     engine: Optional[SweepEngine],
 ) -> ExperimentResult:
-    return registry.execute(
+    target_ci = _target_ci_from_args(args)
+    result = registry.execute(
         experiment,
         runs=args.runs,
         seed=args.seed,
@@ -104,8 +126,20 @@ def _execute(
         options={
             "chart": getattr(args, "chart", False),
             "mc_check": getattr(args, "mc_check", False),
+            "adaptive": bool(getattr(args, "adaptive", False) or target_ci),
+            "target_ci": target_ci,
         },
     )
+    prov = result.provenance
+    if prov.stop_rule is not None and prov.mc_runs_requested:
+        spent = 100.0 * prov.mc_runs_effective / prov.mc_runs_requested
+        print(
+            f"  adaptive budget: {prov.mc_runs_effective}/"
+            f"{prov.mc_runs_requested} runs ({spent:.0f}% of flat) over "
+            f"{len(prov.mc_points)} points",
+            file=sys.stderr,
+        )
+    return result
 
 
 def _print_result(result: ExperimentResult, args: argparse.Namespace) -> None:
@@ -247,6 +281,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1,
             help="worker processes for Monte-Carlo sweeps (results are "
                  "bit-identical to serial execution)",
+        )
+        p.add_argument(
+            "--adaptive", action="store_true",
+            help="adaptive sequential budgets: each Monte-Carlo point stops "
+                 "once its Wilson interval meets the experiment's registered "
+                 "target half-width; --runs stays the flat ceiling",
+        )
+        p.add_argument(
+            "--target-ci", type=float, default=None, metavar="W",
+            help="adaptive stop target: halt a point once its 95%% Wilson "
+                 "half-width is <= W (implies --adaptive, overrides the "
+                 "registered target)",
+        )
+        p.add_argument(
+            "--shard-runs", type=int, default=None, metavar="N",
+            help="split any point bigger than N runs into N-run shards with "
+                 "SeedSequence-spawned seeds and (with --jobs) spread them "
+                 "across the worker pool",
         )
         p.add_argument(
             "--cache", type=str, default=None, metavar="DIR",

@@ -14,11 +14,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import TABLE1_DESIGNS
 from repro.designs.spec import DesignSpec
-from repro.experiments.registry import register
+from repro.experiments.registry import DEFAULT_STOP_RULE, BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
+from repro.yieldsim.stats import StopRule
 from repro.yieldsim.sweeps import DEFAULT_P_GRID, SurvivalPoint, survival_sweep
 
 __all__ = ["Fig10Result", "run"]
@@ -91,6 +92,7 @@ class Fig10Result:
     title="Effective yield EY = Y/(1+RR) and its crossovers",
     paper_ref="Figure 10",
     order=60,
+    budget=BudgetPolicy(stop_rule=DEFAULT_STOP_RULE),
     epilogue=lambda raw: ("", f"crossovers: {raw.crossovers()}"),
     charts=lambda raw: (("effective-yield", raw.format_chart()),),
 )
@@ -102,7 +104,10 @@ def run(
     designs: Sequence[DesignSpec] = TABLE1_DESIGNS,
     n: int = DEFAULT_N,
     ps: Sequence[float] = DEFAULT_P_GRID,
+    stop: Optional[StopRule] = None,
 ) -> Fig10Result:
     """The Figure 10 sweep: all four designs at n = 100 primaries."""
-    points = survival_sweep(designs, [n], ps, runs=runs, seed=seed, engine=engine)
+    points = survival_sweep(
+        designs, [n], ps, runs=runs, seed=seed, engine=engine, stop=stop
+    )
     return Fig10Result(n=n, points=tuple(points))

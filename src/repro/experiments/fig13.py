@@ -17,11 +17,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.assays.chipspec import DiagnosticsChip, redesigned_chip
-from repro.experiments.registry import register
+from repro.experiments.registry import DEFAULT_STOP_RULE, BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
+from repro.yieldsim.stats import StopRule
 from repro.yieldsim.sweeps import DefectCountPoint, defect_count_sweep
 
 __all__ = ["Fig13Result", "run", "PAPER_PLATEAU_FAULTS", "PAPER_PLATEAU_YIELD"]
@@ -85,6 +86,7 @@ class Fig13Result:
     title="Yield of the redesigned chip vs number of random faults",
     paper_ref="Figure 13",
     order=90,
+    budget=BudgetPolicy(stop_rule=DEFAULT_STOP_RULE),
     charts=lambda raw: (("yield-vs-m", raw.format_chart()),),
 )
 def run(
@@ -93,10 +95,12 @@ def run(
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
     ms: Sequence[int] = DEFAULT_MS,
+    stop: Optional[StopRule] = None,
 ) -> Fig13Result:
     """The Figure 13 sweep on the 252+91-cell redesigned chip."""
     layout = redesigned_chip()
     points = defect_count_sweep(
-        layout.chip, ms, needed=layout.used, runs=runs, seed=seed, engine=engine
+        layout.chip, ms, needed=layout.used, runs=runs, seed=seed, engine=engine,
+        stop=stop,
     )
     return Fig13Result(layout=layout, points=tuple(points))

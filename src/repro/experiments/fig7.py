@@ -11,11 +11,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.interstitial import build_flower_chip
-from repro.experiments.registry import BudgetPolicy, register
+from repro.experiments.registry import DEFAULT_STOP_RULE, BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
 from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.stats import StopRule
 from repro.yieldsim.sweeps import DEFAULT_P_GRID, default_engine
 
 __all__ = ["Fig7Result", "run"]
@@ -72,7 +73,7 @@ class Fig7Result:
     title="Analytical yield of DTMB(1,6) vs the non-redundant baseline",
     paper_ref="Figure 7",
     order=40,
-    budget=BudgetPolicy(gate="mc_check"),
+    budget=BudgetPolicy(gate="mc_check", stop_rule=DEFAULT_STOP_RULE),
     charts=lambda raw: (("yield-vs-p", raw.format_chart()),),
 )
 def run(
@@ -82,6 +83,7 @@ def run(
     engine: Optional[SweepEngine] = None,
     ns: Sequence[int] = DEFAULT_NS,
     ps: Sequence[float] = DEFAULT_P_GRID,
+    stop: Optional[StopRule] = None,
 ) -> Fig7Result:
     """Analytical Figure 7; set ``runs`` > 0 to add a Monte-Carlo check.
 
@@ -101,7 +103,7 @@ def run(
     if runs > 0:
         chip = build_flower_chip(ns[0])
         estimates = (engine or default_engine()).survival_estimates(
-            chip, [(p, seed + i) for i, p in enumerate(ps)], runs
+            chip, [(p, seed + i) for i, p in enumerate(ps)], runs, stop=stop
         )
         check = {p: est.value for p, est in zip(ps, estimates)}
     return Fig7Result(

@@ -15,11 +15,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.designs.catalog import DTMB_2_6, DTMB_3_6, DTMB_4_4
 from repro.designs.spec import DesignSpec
-from repro.experiments.registry import register
+from repro.experiments.registry import DEFAULT_STOP_RULE, BudgetPolicy, register
 from repro.experiments.report import format_table
 from repro.viz.plot import ascii_chart
 from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
+from repro.yieldsim.stats import StopRule
 from repro.yieldsim.sweeps import DEFAULT_P_GRID, SurvivalPoint, survival_sweep
 
 __all__ = ["Fig9Result", "run", "DEFAULT_DESIGNS", "DEFAULT_NS"]
@@ -85,6 +86,7 @@ class Fig9Result:
     title="Monte-Carlo yield of DTMB(2,6), DTMB(3,6) and DTMB(4,4)",
     paper_ref="Figure 9",
     order=50,
+    budget=BudgetPolicy(stop_rule=DEFAULT_STOP_RULE),
     charts=lambda raw: tuple(
         (f"n-{n}", raw.format_chart(n)) for n in sorted({pt.n for pt in raw.points})
     ),
@@ -97,11 +99,16 @@ def run(
     designs: Sequence[DesignSpec] = DEFAULT_DESIGNS,
     ns: Sequence[int] = DEFAULT_NS,
     ps: Sequence[float] = DEFAULT_P_GRID,
+    stop: Optional[StopRule] = None,
 ) -> Fig9Result:
     """The Figure 9 sweep (paper defaults: 10 000 runs per point).
 
     Pass a configured :class:`SweepEngine` to shard the 99 points across
-    worker processes and/or reuse an on-disk result cache.
+    worker processes and/or reuse an on-disk result cache; pass a
+    :class:`StopRule` to let each point stop as soon as its Wilson
+    interval is as narrow as the figure needs.
     """
-    points = survival_sweep(designs, ns, ps, runs=runs, seed=seed, engine=engine)
+    points = survival_sweep(
+        designs, ns, ps, runs=runs, seed=seed, engine=engine, stop=stop
+    )
     return Fig9Result(points=tuple(points))

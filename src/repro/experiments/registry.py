@@ -37,7 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -51,9 +51,11 @@ from typing import (
 
 from repro.errors import ExperimentError
 from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.stats import StopRule
 
 __all__ = [
     "BudgetPolicy",
+    "DEFAULT_STOP_RULE",
     "Experiment",
     "ExperimentResult",
     "Provenance",
@@ -70,6 +72,14 @@ DEFAULT_CLI_RUNS = 10_000
 
 #: Paper default RNG seed (the publication year).
 DEFAULT_SEED = 2005
+
+#: Default adaptive rule for the Monte-Carlo figure sweeps: ±0.01 is the
+#: worst-case half-width the paper's flat 10 000-run budget guarantees
+#: (at p-hat = 0.5), so `--adaptive` reaches the same figure quality while
+#: easy points (yield near 1) stop after the first 1000-run batch.
+DEFAULT_STOP_RULE = StopRule(
+    target_half_width=0.01, min_runs=1000, batch_runs=1000
+)
 
 
 # -- budget policy ------------------------------------------------------------
@@ -88,12 +98,49 @@ class BudgetPolicy:
     truthy for any budget to be spent; otherwise the driver gets 0 runs
     (Figure 7 renders its analytical table only).  ``deterministic``
     drivers get 0 runs always — their output is exact.
+
+    ``stop_rule`` declares the experiment's *adaptive* sequential budget:
+    the Wilson-interval :class:`~repro.yieldsim.stats.StopRule` its sweep
+    points use when the user opts in (``--adaptive`` / ``--target-ci``).
+    A non-``None`` rule marks the driver adaptive-capable — its ``run``
+    accepts a ``stop`` knob; the flat budget stays the ceiling either
+    way, and adaptive dispatch never happens unless requested.
     """
 
     divisor: int = 1
     floor: int = 0
     gate: Optional[str] = None
     deterministic: bool = False
+    stop_rule: Optional[StopRule] = None
+
+    @property
+    def adaptive_capable(self) -> bool:
+        """True when the driver accepts a ``stop`` rule."""
+        return self.stop_rule is not None
+
+    def resolve_stop(
+        self,
+        adaptive: bool,
+        override: Optional[StopRule] = None,
+        target: Optional[float] = None,
+    ) -> Optional[StopRule]:
+        """The stop rule one dispatch should use, or None for flat.
+
+        ``override`` (a full replacement rule, for API callers) wins over
+        everything; ``target`` (``--target-ci``) re-targets the registered
+        rule, keeping its batching/min/max so the RNG stream and cache
+        semantics stay those the experiment declared.  Either applies
+        only when the experiment is adaptive-capable, so ``repro all
+        --adaptive`` quietly leaves deterministic and non-sweep
+        experiments flat.
+        """
+        if not self.adaptive_capable:
+            return None
+        if override is not None:
+            return override
+        if target is not None:
+            return replace(self.stop_rule, target_half_width=float(target))
+        return self.stop_rule if adaptive else None
 
     def effective(self, runs: int, options: Mapping[str, object]) -> int:
         """The driver budget for a requested CLI budget and option set."""
@@ -112,6 +159,8 @@ class BudgetPolicy:
             text = f"max({self.floor}, {text})"
         if self.gate is not None:
             text += f" if --{self.gate.replace('_', '-')} else 0"
+        if self.stop_rule is not None:
+            text += f"; --adaptive: {self.stop_rule.describe()}"
         return text
 
 
@@ -182,7 +231,15 @@ class Experiment:
 
 @dataclass(frozen=True)
 class Provenance:
-    """What produced a result: enough to reproduce or audit it."""
+    """What produced a result: enough to reproduce or audit it.
+
+    ``runs_requested``/``runs_effective`` are the CLI-level budget and the
+    driver budget the policy derived from it.  The ``mc_*`` fields account
+    for the Monte-Carlo points the dispatch actually executed through the
+    sweep engine: total requested vs. effective (adaptively stopped) runs,
+    plus the per-point requested/effective pairs; ``stop_rule`` describes
+    the active adaptive rule, or is ``None`` for a flat run.
+    """
 
     experiment: str
     seed: int
@@ -194,6 +251,10 @@ class Provenance:
     cache_misses: int
     wall_time_s: float
     digest: str
+    stop_rule: Optional[Dict[str, object]] = None
+    mc_runs_requested: int = 0
+    mc_runs_effective: int = 0
+    mc_points: Tuple[Tuple[object, ...], ...] = ()
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -207,6 +268,14 @@ class Provenance:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
             },
+            "budget": {
+                "stop_rule": self.stop_rule,
+                "mc_runs_requested": self.mc_runs_requested,
+                "mc_runs_effective": self.mc_runs_effective,
+                # One [kind, param, requested, effective] row per executed
+                # Monte-Carlo point, in execution order.
+                "points": [list(point) for point in self.mc_points],
+            },
             "wall_time_s": round(self.wall_time_s, 6),
             "digest": self.digest,
         }
@@ -219,13 +288,17 @@ class Provenance:
         them by the engine's contract) vary between runs that produce the
         same numbers, so they live only in ``manifest.json`` (see
         :mod:`repro.experiments.artifacts`); everything here is a pure
-        function of (experiment, seed, budget).
+        function of (experiment, seed, budget, stop rule) — adaptive
+        effective budgets are deterministic given the seed.
         """
         return {
             "experiment": self.experiment,
             "seed": self.seed,
             "runs_requested": self.runs_requested,
             "runs_effective": self.runs_effective,
+            "stop_rule": self.stop_rule,
+            "mc_runs_requested": self.mc_runs_requested,
+            "mc_runs_effective": self.mc_runs_effective,
             "digest": self.digest,
         }
 
@@ -396,26 +469,46 @@ def execute(
     engine: Optional[SweepEngine] = None,
     options: Optional[Mapping[str, object]] = None,
     knobs: Optional[Mapping[str, object]] = None,
+    stop: Optional[StopRule] = None,
 ) -> ExperimentResult:
     """Run one experiment through the uniform pipeline.
 
     ``runs``/``seed`` are the user-facing budget and seed; the experiment's
     :class:`BudgetPolicy` derives the driver budget.  ``options`` are
-    rendering/dispatch flags (``chart``, ``mc_check``); ``knobs`` are
-    passed through to the driver verbatim (grid overrides etc.).
+    rendering/dispatch flags (``chart``, ``mc_check``, ``adaptive``);
+    ``knobs`` are passed through to the driver verbatim (grid overrides
+    etc.).  ``stop`` replaces the experiment's registered stop rule
+    wholesale; the ``target_ci`` option re-targets the registered rule
+    instead.  Either way adaptive budgets apply only to adaptive-capable
+    experiments, and only when requested (``stop``, ``target_ci`` or the
+    ``adaptive`` option).
     """
     if isinstance(experiment, str):
         experiment = get(experiment)
     options = dict(options or {})
     effective = experiment.budget.effective(runs, options)
+    rule = experiment.budget.resolve_stop(
+        bool(options.get("adaptive")),
+        override=stop,
+        target=options.get("target_ci"),
+    )
 
-    hits0 = engine.cache_hits if engine is not None else 0
-    misses0 = engine.cache_misses if engine is not None else 0
+    # Budget accounting covers whatever engine the driver will actually
+    # use: the one passed in, or the shared default.
+    from repro.yieldsim.sweeps import default_engine
+
+    track = engine if engine is not None else default_engine()
+    hits0, misses0 = track.cache_hits, track.cache_misses
+    log0 = len(track.point_log)
+    knobs = dict(knobs or {})
+    if rule is not None:
+        knobs["stop"] = rule
     start = time.perf_counter()
     raw = experiment.runner(
-        runs=effective, seed=seed, engine=engine, **dict(knobs or {})
+        runs=effective, seed=seed, engine=engine, **knobs
     )
     wall = time.perf_counter() - start
+    points = track.point_log[log0:]
 
     report = experiment.render_report(raw, options)
     epilogue = experiment.render_epilogue(raw)
@@ -432,10 +525,28 @@ def execute(
         runs_effective=effective,
         engine_jobs=engine.jobs if engine is not None else 1,
         engine_cache_dir=engine.cache_dir if engine is not None else None,
-        cache_hits=(engine.cache_hits - hits0) if engine is not None else 0,
-        cache_misses=(engine.cache_misses - misses0) if engine is not None else 0,
+        cache_hits=track.cache_hits - hits0,
+        cache_misses=track.cache_misses - misses0,
         wall_time_s=wall,
         digest=result_digest(headers, rows, report),
+        stop_rule=(
+            None
+            if rule is None
+            else {
+                "target_half_width": rule.target_half_width,
+                "min_runs": rule.min_runs,
+                "max_runs": rule.max_runs,
+                "batch_runs": rule.batch_runs,
+                "z": rule.z,
+                "digest": rule.digest(),
+            }
+        ),
+        mc_runs_requested=sum(point.requested for point in points),
+        mc_runs_effective=sum(point.effective for point in points),
+        mc_points=tuple(
+            (point.kind, point.param, point.requested, point.effective)
+            for point in points
+        ),
     )
     return ExperimentResult(
         experiment=experiment,

@@ -35,8 +35,31 @@ to workers as compact payload dicts and each worker memoizes the derived
 :class:`~repro.yieldsim.kernel.RepairStructure` by chip digest.  An
 optional on-disk cache stores one small JSON file per point, keyed by a
 SHA-256 digest of (chip cells, needed set, regime, parameter, runs, seed,
-dtype, engine version), so repeated sweeps — e.g. re-rendering a figure
-at the paper budget — cost nothing.
+dtype, engine version — plus the batch size and stop-rule digest for
+batched points), so repeated sweeps — e.g. re-rendering a figure at the
+paper budget — cost nothing, and a flat-budget entry can never be served
+to an adaptive request.
+
+Within-point sharding and adaptive budgets
+------------------------------------------
+A point enters *batched* execution when it carries a
+:class:`~repro.yieldsim.stats.StopRule` (adaptive budget) or when its
+``runs`` exceed the engine's ``shard_runs`` (one huge point — a p-grid
+corner at 10^6+ runs — split across the workers).  A batched point's
+stream is defined by its batch plan alone: batch ``k`` draws from
+``SeedSequence(seed, spawn_key=(k,))`` (the ``SeedSequence.spawn``
+derivation, constructible per shard in isolation), so the point's result
+is a pure function of (spec, rule/batch size) — *where* the batches run
+(in-process, or sharded across the pool) can never change a number.
+Under a stop rule, batches are folded strictly in batch order and the
+rule is checked after each fold; parallel execution merely speculates on
+later batches and discards them past the stop point, so the effective
+budget is deterministic given the seed.  An adaptive point that never
+meets its target spends exactly its full plan — bit-identical to the
+fixed-budget batched run of the same point.
+
+Flat, unsharded points (the default) keep the legacy single-stream draw
+and remain bit-identical to the pre-engine implementation.
 """
 
 from __future__ import annotations
@@ -55,10 +78,26 @@ from repro.chip.cell import Cell, CellRole
 from repro.errors import SimulationError
 from repro.geometry.hex import Hex
 from repro.geometry.square import Square
-from repro.yieldsim.kernel import PointSpec, RepairStructure, ScreenStats, simulate_points
-from repro.yieldsim.stats import YieldEstimate
+from repro.yieldsim.kernel import (
+    PointSpec,
+    RepairStructure,
+    ScreenStats,
+    fixed_fault_successes,
+    point_entropy,
+    shard_plan,
+    shard_seed,
+    simulate_points,
+    survival_successes,
+)
+from repro.yieldsim.stats import StopRule, YieldEstimate
 
-__all__ = ["SweepEngine", "EnginePoint", "chip_payload", "payload_digest"]
+__all__ = [
+    "SweepEngine",
+    "EnginePoint",
+    "PointRecord",
+    "chip_payload",
+    "payload_digest",
+]
 
 #: Bump when the kernel/sampling semantics change, to invalidate caches.
 ENGINE_VERSION = 1
@@ -161,15 +200,67 @@ def _compute_batch(
     return successes, stats.as_dict()
 
 
+def _compute_shard(
+    digest: str,
+    payload: Dict[str, object],
+    kind: str,
+    param: float,
+    size: int,
+    entropy: int,
+    index: int,
+    dtype_name: str,
+) -> Tuple[int, Dict[str, int]]:
+    """Compute one within-point shard (runs in the worker process).
+
+    The shard's stream is fully determined by ``(entropy, index)`` via
+    :func:`~repro.yieldsim.kernel.shard_seed`, so any worker — or the
+    calling process — computes the identical batch.
+    """
+    struct = _structure_for(digest, payload)
+    rng = np.random.default_rng(shard_seed(entropy, index))
+    dtype = np.dtype(dtype_name).type
+    if kind == "survival":
+        got, stats = survival_successes(struct, param, size, seed=rng, dtype=dtype)
+    else:
+        got, stats = fixed_fault_successes(struct, int(param), size, seed=rng)
+    return got, stats.as_dict()
+
+
 # -- the engine ---------------------------------------------------------------
 
 @dataclass(frozen=True)
 class EnginePoint:
-    """One sweep point: a chip, an optional needed set, and a PointSpec."""
+    """One sweep point: a chip, an optional needed set, and a PointSpec.
+
+    ``stop`` attaches an adaptive sequential budget: the point runs in
+    batches of ``stop.batch_runs`` and halts once its Wilson interval is
+    as narrow as the rule demands, with ``spec.runs`` as the flat ceiling.
+    """
 
     chip: Biochip
     spec: PointSpec
     needed: Optional[Tuple[Hashable, ...]] = None
+    stop: Optional[StopRule] = None
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """Requested-vs-effective budget accounting for one executed point."""
+
+    kind: str
+    param: float
+    requested: int
+    effective: int
+    adaptive: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "param": self.param,
+            "requested": self.requested,
+            "effective": self.effective,
+            "adaptive": self.adaptive,
+        }
 
 
 class SweepEngine:
@@ -192,6 +283,14 @@ class SweepEngine:
         Uniform-draw dtype for the survival regime.  The ``float32``
         default halves RNG cost; use ``numpy.float64`` to reproduce the
         legacy ``YieldSimulator`` stream bit for bit.
+    shard_runs:
+        Within-point sharding threshold *and* batch size: any point whose
+        budget exceeds this many runs is split into ``shard_runs``-sized
+        batches with per-shard ``SeedSequence.spawn`` seeds and (with
+        ``jobs > 1``) computed across the worker pool.  ``None`` (default)
+        never shards within a point.  Sharded results are bit-identical
+        whether the batches run serially or in parallel, but use the
+        spawned batch streams rather than the legacy single stream.
     """
 
     def __init__(
@@ -200,6 +299,7 @@ class SweepEngine:
         cache_dir: Optional[str] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         dtype: type = np.float32,
+        shard_runs: Optional[int] = None,
     ):
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -207,67 +307,116 @@ class SweepEngine:
             raise SimulationError(
                 f"cache path {cache_dir!r} exists and is not a directory"
             )
+        if shard_runs is not None and shard_runs < 1:
+            raise SimulationError(f"shard_runs must be >= 1, got {shard_runs}")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.progress = progress
         self.dtype = dtype
+        self.shard_runs = shard_runs
         #: cumulative cache counters (for tests and reports)
         self.cache_hits = 0
         self.cache_misses = 0
         #: merged screen statistics of everything this engine computed
         self.screen_stats = ScreenStats()
+        #: cumulative requested/effective budget totals across run_points calls
+        self.runs_requested = 0
+        self.runs_effective = 0
+        #: per-point budget accounting, appended in task order by run_points
+        self.point_log: List[PointRecord] = []
+
+    # -- execution modes -------------------------------------------------------
+    def _task_batch(self, task: EnginePoint) -> Optional[int]:
+        """Batch size for batched (sharded/adaptive) execution, else None."""
+        if task.stop is not None:
+            return task.stop.batch_runs
+        if self.shard_runs is not None and task.spec.runs > self.shard_runs:
+            return self.shard_runs
+        return None
 
     # -- cache ----------------------------------------------------------------
-    def _point_key(self, digest: str, spec: PointSpec) -> str:
-        blob = json.dumps(
-            {
-                "chip": digest,
-                "kind": spec.kind,
-                "param": spec.param,
-                "runs": spec.runs,
-                "seed": spec.seed,
-                "dtype": np.dtype(self.dtype).name,
-                "version": ENGINE_VERSION,
-            },
-            sort_keys=True,
-        )
+    def _point_key(
+        self,
+        digest: str,
+        spec: PointSpec,
+        stop: Optional[StopRule] = None,
+        batch: Optional[int] = None,
+    ) -> str:
+        ident: Dict[str, object] = {
+            "chip": digest,
+            "kind": spec.kind,
+            "param": spec.param,
+            "runs": spec.runs,
+            "seed": spec.seed,
+            "dtype": np.dtype(self.dtype).name,
+            "version": ENGINE_VERSION,
+        }
+        if batch is not None:
+            # Batched points live under a distinct key family: the batch
+            # size defines the RNG stream and the stop-rule digest defines
+            # the effective budget, so a flat-budget entry is never served
+            # to an adaptive request (or vice versa).
+            ident["mode"] = "batched"
+            ident["batch"] = batch
+            ident["stop"] = stop.digest() if stop is not None else None
+        blob = json.dumps(ident, sort_keys=True)
         return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
     def _cache_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
 
-    def _cache_load(self, key: str, spec: PointSpec) -> Optional[int]:
+    def _cache_load(
+        self, key: str, spec: PointSpec, batched: bool = False
+    ) -> Optional[Tuple[int, int]]:
+        """Cached ``(successes, effective trials)`` for a point, if valid."""
         if self.cache_dir is None:
+            return None
+        if batched and spec.seed is None:
+            # A seedless batched point has fresh entropy every time; a
+            # cache entry for it would be a false hit.
             return None
         try:
             with open(self._cache_path(key), "r", encoding="utf-8") as fh:
                 data = json.load(fh)
             successes = data["successes"]
-            if data["trials"] != spec.runs or not 0 <= successes <= spec.runs:
+            trials = data["trials"]
+            if batched:
+                if data["requested"] != spec.runs or not 0 <= successes <= trials <= spec.runs:
+                    return None
+            elif trials != spec.runs or not 0 <= successes <= spec.runs:
                 return None
-            return int(successes)
+            return int(successes), int(trials)
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def _cache_store(self, key: str, spec: PointSpec, successes: int) -> None:
-        if self.cache_dir is None:
+    def _cache_store(
+        self,
+        key: str,
+        spec: PointSpec,
+        successes: int,
+        trials: int,
+        batched: bool = False,
+        stop: Optional[StopRule] = None,
+    ) -> None:
+        if self.cache_dir is None or (batched and spec.seed is None):
             return
+        entry: Dict[str, object] = {
+            "successes": successes,
+            "trials": trials,
+            "kind": spec.kind,
+            "param": spec.param,
+            "seed": spec.seed,
+            "version": ENGINE_VERSION,
+        }
+        if batched:
+            entry["requested"] = spec.runs
+            entry["stop"] = stop.digest() if stop is not None else None
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self._cache_path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(
-                    {
-                        "successes": successes,
-                        "trials": spec.runs,
-                        "kind": spec.kind,
-                        "param": spec.param,
-                        "seed": spec.seed,
-                        "version": ENGINE_VERSION,
-                    },
-                    fh,
-                )
+                json.dump(entry, fh)
             os.replace(tmp, path)
         except OSError:
             try:
@@ -277,9 +426,18 @@ class SweepEngine:
 
     # -- execution -------------------------------------------------------------
     def run_points(self, tasks: Sequence[EnginePoint]) -> List[YieldEstimate]:
-        """Estimates for ``tasks``, in order; shards across jobs if > 1."""
+        """Estimates for ``tasks``, in order; shards across jobs if > 1.
+
+        Flat points run through the legacy chunked path (bit-identical to
+        the pre-engine implementation); points with a stop rule or beyond
+        ``shard_runs`` run through the batched path (see the module
+        docstring).  Each estimate's ``trials`` is the point's *effective*
+        budget — equal to ``spec.runs`` for flat points, possibly smaller
+        for adaptive ones — and :attr:`point_log` records the
+        requested-vs-effective pair for every task.
+        """
         n = len(tasks)
-        results: List[Optional[int]] = [None] * n
+        results: List[Optional[Tuple[int, int]]] = [None] * n
 
         # Canonical payload/digest per distinct chip object (and needed set).
         seen: Dict[Tuple[int, Optional[Tuple[Hashable, ...]]], str] = {}
@@ -296,25 +454,31 @@ class SweepEngine:
             digests.append(digest)
 
         # Cache pass.
+        batch_of = [self._task_batch(task) for task in tasks]
+        keys = [
+            self._point_key(digests[i], task.spec, stop=task.stop, batch=batch_of[i])
+            for i, task in enumerate(tasks)
+        ]
         pending: List[int] = []
+        pending_batched: List[int] = []
         done = 0
         for i, task in enumerate(tasks):
             task.spec.validate(len(task.chip))
-            cached = self._cache_load(self._point_key(digests[i], task.spec), task.spec)
+            cached = self._cache_load(keys[i], task.spec, batched=batch_of[i] is not None)
             if cached is not None:
                 results[i] = cached
                 self.cache_hits += 1
                 done += 1
             else:
-                pending.append(i)
+                (pending if batch_of[i] is None else pending_batched).append(i)
                 if self.cache_dir is not None:
                     self.cache_misses += 1
         if done and self.progress is not None:
             self.progress(done, n)
 
-        # Group pending points into per-chip chunks (the shard unit).  The
-        # grouping depends only on the task list, never on jobs, so serial
-        # and parallel runs compute identical chunks.
+        # Group flat pending points into per-chip chunks (the shard unit).
+        # The grouping depends only on the task list, never on jobs, so
+        # serial and parallel runs compute identical chunks.
         chunks: List[Tuple[str, List[int]]] = []
         current_digest: Optional[str] = None
         for i in pending:
@@ -326,25 +490,37 @@ class SweepEngine:
         def record(chunk_indices: List[int], successes: List[int], stats: Dict[str, int]) -> None:
             nonlocal done
             for idx, got in zip(chunk_indices, successes):
-                results[idx] = got
-                self._cache_store(
-                    self._point_key(digests[idx], tasks[idx].spec), tasks[idx].spec, got
-                )
+                results[idx] = (got, tasks[idx].spec.runs)
+                self._cache_store(keys[idx], tasks[idx].spec, got, tasks[idx].spec.runs)
             self.screen_stats.merge(ScreenStats.from_dict(stats))
             done += len(chunk_indices)
             if self.progress is not None:
                 self.progress(done, n)
 
         dtype_name = np.dtype(self.dtype).name
-        if self.jobs == 1 or len(chunks) <= 1:
-            for digest, idxs in chunks:
-                successes, stats = _compute_batch(
-                    digest, payload_by_digest[digest],
-                    [tasks[i].spec for i in idxs], dtype_name,
+        plans = {
+            i: shard_plan(
+                tasks[i].stop.cap(tasks[i].spec.runs) if tasks[i].stop else tasks[i].spec.runs,
+                batch_of[i],
+            )
+            for i in pending_batched
+        }
+        shard_units = sum(len(plan) for plan in plans.values())
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if self.jobs > 1 and (len(chunks) > 1 or shard_units > 1):
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, max(len(chunks), shard_units))
                 )
-                record(idxs, successes, stats)
-        else:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks))) as pool:
+
+            if pool is None or len(chunks) <= 1:
+                for digest, idxs in chunks:
+                    successes, stats = _compute_batch(
+                        digest, payload_by_digest[digest],
+                        [tasks[i].spec for i in idxs], dtype_name,
+                    )
+                    record(idxs, successes, stats)
+            else:
                 futures = {
                     pool.submit(
                         _compute_batch, digest, payload_by_digest[digest],
@@ -359,10 +535,146 @@ class SweepEngine:
                         successes, stats = fut.result()
                         record(futures[fut], successes, stats)
 
-        return [
-            YieldEstimate(successes=results[i], trials=tasks[i].spec.runs)
-            for i in range(n)
-        ]
+            def on_point(i: int, got: int, trials: int) -> None:
+                nonlocal done
+                results[i] = (got, trials)
+                self._cache_store(
+                    keys[i], tasks[i].spec, got, trials,
+                    batched=True, stop=tasks[i].stop,
+                )
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, n)
+
+            if pending_batched:
+                self._run_batched_points(
+                    tasks, pending_batched, plans, digests, payload_by_digest,
+                    pool, on_point,
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        estimates: List[YieldEstimate] = []
+        for i, task in enumerate(tasks):
+            got, trials = results[i]
+            self.runs_requested += task.spec.runs
+            self.runs_effective += trials
+            self.point_log.append(
+                PointRecord(
+                    kind=task.spec.kind,
+                    param=task.spec.param,
+                    requested=task.spec.runs,
+                    effective=trials,
+                    adaptive=task.stop is not None,
+                )
+            )
+            estimates.append(YieldEstimate(successes=got, trials=trials))
+        return estimates
+
+    def _run_batched_points(
+        self,
+        tasks: Sequence[EnginePoint],
+        indices: Sequence[int],
+        plans: Dict[int, Tuple[int, ...]],
+        digests: Sequence[str],
+        payload_by_digest: Dict[str, Dict[str, object]],
+        pool: Optional[ProcessPoolExecutor],
+        on_point: Callable[[int, int, int], None],
+    ) -> None:
+        """Run the batched points; calls ``on_point(i, successes, trials)``
+        as each completes.
+
+        Each point's batches are folded strictly in batch order and its
+        stop rule (if any) is checked after each fold, so every point's
+        result — successes *and* effective budget — is identical whether
+        its batches run here or speculatively across the pool.  The pool
+        schedule interleaves batches of *different* points (point-major
+        order), so an adaptive sweep keeps every worker busy instead of
+        draining one point at a time; batches that complete beyond a stop
+        point are discarded, keeping numbers and screen stats equal to
+        the serial fold.
+        """
+        dtype_name = np.dtype(self.dtype).name
+        entropies = {i: point_entropy(tasks[i].spec.seed) for i in indices}
+
+        if pool is None:
+            for i in indices:
+                spec, rule = tasks[i].spec, tasks[i].stop
+                successes = 0
+                trials = 0
+                for k, size in enumerate(plans[i]):
+                    got, stats = _compute_shard(
+                        digests[i], payload_by_digest[digests[i]],
+                        spec.kind, spec.param, size, entropies[i], k, dtype_name,
+                    )
+                    self.screen_stats.merge(ScreenStats.from_dict(stats))
+                    successes += got
+                    trials += size
+                    if rule is not None and rule.should_stop(successes, trials):
+                        break
+                on_point(i, successes, trials)
+            return
+
+        # Per-point fold state; a point is live until it stops or folds
+        # its whole plan.
+        next_fold = {i: 0 for i in indices}
+        successes = {i: 0 for i in indices}
+        trials = {i: 0 for i in indices}
+        complete: set = set()
+
+        def unit_stream():
+            for i in indices:
+                for k in range(len(plans[i])):
+                    yield i, k
+
+        units = unit_stream()
+        futures: Dict[Tuple[int, int], object] = {}
+        ready: Dict[Tuple[int, int], Tuple[int, Dict[str, int]]] = {}
+
+        def submit_up_to_jobs() -> None:
+            while len(futures) < self.jobs:
+                for i, k in units:
+                    if i in complete:
+                        continue  # point already decided; skip its tail
+                    spec = tasks[i].spec
+                    futures[(i, k)] = pool.submit(
+                        _compute_shard, digests[i], payload_by_digest[digests[i]],
+                        spec.kind, spec.param, plans[i][k],
+                        entropies[i], k, dtype_name,
+                    )
+                    break
+                else:
+                    return  # no units left to submit
+
+        while len(complete) < len(indices):
+            submit_up_to_jobs()
+            finished, _ = wait(set(futures.values()), return_when=FIRST_COMPLETED)
+            for unit in [u for u, fut in list(futures.items()) if fut in finished]:
+                ready[unit] = futures.pop(unit).result()
+            for i in indices:
+                if i in complete:
+                    continue
+                rule = tasks[i].stop
+                while (i, next_fold[i]) in ready and i not in complete:
+                    got, stats = ready.pop((i, next_fold[i]))
+                    self.screen_stats.merge(ScreenStats.from_dict(stats))
+                    successes[i] += got
+                    trials[i] += plans[i][next_fold[i]]
+                    next_fold[i] += 1
+                    stopped = rule is not None and rule.should_stop(
+                        successes[i], trials[i]
+                    )
+                    if stopped or next_fold[i] == len(plans[i]):
+                        complete.add(i)
+                        on_point(i, successes[i], trials[i])
+            # Drop speculative results (and cancel queued batches) of
+            # points that have since completed.
+            for unit in [u for u in ready if u[0] in complete]:
+                del ready[unit]
+            for unit in [u for u, fut in list(futures.items()) if u[0] in complete]:
+                futures[unit].cancel()
+                del futures[unit]
 
     # -- conveniences ----------------------------------------------------------
     def survival_estimates(
@@ -371,11 +683,12 @@ class SweepEngine:
         points: Sequence[Tuple[float, int]],
         runs: int,
         needed: Optional[Iterable[Hashable]] = None,
+        stop: Optional[StopRule] = None,
     ) -> List[YieldEstimate]:
         """Survival-regime estimates for ``(p, seed)`` pairs on one chip."""
         needed_t = tuple(sorted(set(needed))) if needed is not None else None
         tasks = [
-            EnginePoint(chip, PointSpec("survival", p, runs, seed), needed_t)
+            EnginePoint(chip, PointSpec("survival", p, runs, seed), needed_t, stop)
             for p, seed in points
         ]
         return self.run_points(tasks)
@@ -386,11 +699,12 @@ class SweepEngine:
         points: Sequence[Tuple[int, int]],
         runs: int,
         needed: Optional[Iterable[Hashable]] = None,
+        stop: Optional[StopRule] = None,
     ) -> List[YieldEstimate]:
         """Fixed-fault-count estimates for ``(m, seed)`` pairs on one chip."""
         needed_t = tuple(sorted(set(needed))) if needed is not None else None
         tasks = [
-            EnginePoint(chip, PointSpec("fixed", m, runs, seed), needed_t)
+            EnginePoint(chip, PointSpec("fixed", m, runs, seed), needed_t, stop)
             for m, seed in points
         ]
         return self.run_points(tasks)

@@ -51,6 +51,7 @@ import numpy as np
 from repro.chip.biochip import Biochip
 from repro.errors import SimulationError
 from repro.faults.injection import RngLike, make_rng
+from repro.yieldsim.stats import split_batches
 
 __all__ = [
     "GOOD",
@@ -67,6 +68,9 @@ __all__ = [
     "survival_successes",
     "fixed_fault_successes",
     "simulate_points",
+    "point_entropy",
+    "shard_seed",
+    "shard_plan",
 ]
 
 #: Per-run verdict codes returned by :func:`classify_repairable`.
@@ -507,6 +511,58 @@ def count_repairable(
         successes += int((verdict == GOOD).sum())
         total.merge(stats)
     return successes, total
+
+
+# -- within-point sharding: per-shard seed derivation -------------------------
+
+def point_entropy(seed: object) -> int:
+    """Normalize a point seed into ``SeedSequence`` entropy.
+
+    Sharded/adaptive execution derives one child stream per batch with
+    ``SeedSequence.spawn``, so the point seed must be spawnable: a
+    non-negative integer (or ``None``, which draws fresh entropy and gives
+    an unreproducible but still valid run).  A raw ``Generator`` cannot be
+    spawned deterministically, so it is rejected rather than silently
+    de-synchronized.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().entropy)
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        if seed < 0:
+            raise SimulationError(
+                f"sharded execution needs a non-negative integer seed, got {seed}"
+            )
+        return int(seed)
+    raise SimulationError(
+        "sharded execution needs an integer seed (or None), got "
+        f"{type(seed).__name__}"
+    )
+
+
+def shard_seed(entropy: int, index: int) -> np.random.SeedSequence:
+    """The seed of shard ``index`` of a point with the given entropy.
+
+    Identical to ``SeedSequence(entropy).spawn(index + 1)[index]`` but
+    constructible for any shard in isolation — a worker can seed shard 17
+    without materializing shards 0..16.  ``SeedSequence`` hashes the
+    ``(entropy, spawn_key)`` pair, so shards of one point never collide
+    with each other, and points with distinct entropies never collide at
+    any shard index.
+    """
+    if index < 0:
+        raise SimulationError(f"shard index must be >= 0, got {index}")
+    return np.random.SeedSequence(entropy, spawn_key=(index,))
+
+
+def shard_plan(runs: int, batch: int) -> Tuple[int, ...]:
+    """Split ``runs`` into ``batch``-sized shards (last one may be short).
+
+    Delegates to :func:`repro.yieldsim.stats.split_batches` — the same
+    partition :meth:`~repro.yieldsim.stats.StopRule.plan` uses, so the
+    stop rule's reference semantics and the engine's shard boundaries are
+    one definition.
+    """
+    return split_batches(runs, batch)
 
 
 # -- batched samplers ---------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.yieldsim.effective import chip_effective_yield
 from repro.yieldsim.engine import EnginePoint, SweepEngine
 from repro.yieldsim.kernel import PointSpec
 from repro.yieldsim.montecarlo import DEFAULT_RUNS
-from repro.yieldsim.stats import YieldEstimate
+from repro.yieldsim.stats import StopRule, YieldEstimate
 
 __all__ = [
     "SurvivalPoint",
@@ -92,6 +92,7 @@ def survival_sweep(
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    stop: Optional[StopRule] = None,
 ) -> List[SurvivalPoint]:
     """Monte-Carlo yield of each design at each (n, p) — Figure 9's data.
 
@@ -100,6 +101,11 @@ def survival_sweep(
     realized redundancy ratio.  Point seeds follow the historical
     ``seed + counter`` derivation, so a given (specs, ns, ps, runs, seed)
     produces the same numbers whatever engine executes it.
+
+    ``stop`` attaches an adaptive sequential budget to every point: each
+    point spends only what it needs to reach the rule's target Wilson
+    half-width, with ``runs`` as the flat ceiling (see
+    :class:`~repro.yieldsim.stats.StopRule`).
     """
     engine = engine or default_engine()
     meta: List[Tuple[DesignSpec, int, float]] = []
@@ -116,7 +122,7 @@ def survival_sweep(
     # One engine call for the whole sweep: points on the same chip form
     # shard chunks, and all chips' points load-balance across workers.
     tasks = [
-        EnginePoint(chip, PointSpec("survival", p, runs, pseed))
+        EnginePoint(chip, PointSpec("survival", p, runs, pseed), stop=stop)
         for chip, p, pseed in point_args
     ]
     estimates = engine.run_points(tasks)
@@ -142,9 +148,12 @@ def effective_yield_sweep(
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    stop: Optional[StopRule] = None,
 ) -> List[SurvivalPoint]:
     """Effective-yield comparison at fixed primary count — Figure 10's data."""
-    return survival_sweep(specs, [n], ps, runs=runs, seed=seed, engine=engine)
+    return survival_sweep(
+        specs, [n], ps, runs=runs, seed=seed, engine=engine, stop=stop
+    )
 
 
 def defect_count_sweep(
@@ -154,6 +163,7 @@ def defect_count_sweep(
     runs: int = DEFAULT_RUNS,
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
+    stop: Optional[StopRule] = None,
 ) -> List[DefectCountPoint]:
     """Yield of ``chip`` under exactly-m-fault maps — Figure 13's data.
 
@@ -163,10 +173,17 @@ def defect_count_sweep(
     exactly-uniform m-subset draw, but the yield curve is monotone in m
     by construction — no Monte-Carlo wiggle even at small budgets — and
     any single point can still be recomputed in isolation from the seed.
+
+    Under batched execution the shared seed still yields a common stream
+    per batch index, so nesting — and the monotone curve — survives
+    sharding at fixed budget.  An adaptive ``stop`` rule may stop
+    different points at different effective budgets, in which case the
+    estimates compare different-length prefixes of the common stream and
+    strict monotonicity is no longer structural.
     """
     engine = engine or default_engine()
     estimates = engine.fixed_fault_estimates(
-        chip, [(m, seed + 1) for m in ms], runs, needed=needed
+        chip, [(m, seed + 1) for m in ms], runs, needed=needed, stop=stop
     )
     return [
         DefectCountPoint(m=m, estimate=estimate)

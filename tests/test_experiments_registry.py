@@ -107,6 +107,37 @@ class TestRegistry:
         assert gated.effective(500, {}) == 0
         assert gated.effective(500, {"mc_check": True}) == 500
 
+    def test_budget_policy_resolves_stop_rule(self):
+        from repro.yieldsim.stats import StopRule
+
+        rule = StopRule(target_half_width=0.01, min_runs=500, batch_runs=250)
+        override = StopRule(target_half_width=0.05)
+        capable = BudgetPolicy(stop_rule=rule)
+        # Opt-in only: flat unless adaptive is requested.
+        assert capable.resolve_stop(False) is None
+        assert capable.resolve_stop(True) is rule
+        assert capable.resolve_stop(False, override=override) is override
+        assert capable.resolve_stop(True, override=override) is override
+        # --target-ci re-targets the registered rule, keeping its
+        # batching (and therefore the RNG stream and cache identity).
+        retargeted = capable.resolve_stop(True, target=0.03)
+        assert retargeted.target_half_width == 0.03
+        assert retargeted.batch_runs == rule.batch_runs
+        assert retargeted.min_runs == rule.min_runs
+        # Non-capable experiments stay flat whatever was requested.
+        flat = BudgetPolicy()
+        assert flat.resolve_stop(True) is None
+        assert flat.resolve_stop(True, override=override) is None
+        assert flat.resolve_stop(True, target=0.03) is None
+        assert capable.adaptive_capable and not flat.adaptive_capable
+        assert "--adaptive" in capable.describe()
+
+    def test_sweep_experiments_registered_adaptive_capable(self):
+        for name in ("fig7", "fig9", "fig10", "fig13"):
+            assert registry.get(name).budget.adaptive_capable, name
+        for name in ("table1", "fig2", "figs3to6", "ablation-matching"):
+            assert not registry.get(name).budget.adaptive_capable, name
+
 
 class TestGenericDispatch:
     def test_every_experiment_runs(self, results):
@@ -165,6 +196,50 @@ class TestGenericDispatch:
         assert first.provenance.cache_misses == 2
         assert again.provenance.cache_hits == 2
         assert again.rows == first.rows
+
+    def test_provenance_records_requested_vs_effective_per_point(self):
+        """Flat dispatch: every executed Monte-Carlo point appears in the
+        provenance with requested == effective."""
+        result = registry.execute("fig13", runs=80, seed=3, knobs={"ms": [5, 10]})
+        prov = result.provenance
+        assert len(prov.mc_points) == 2
+        for kind, param, requested, effective in prov.mc_points:
+            assert kind == "fixed" and param in (5, 10)
+            assert requested == effective == 80
+        assert prov.mc_runs_requested == prov.mc_runs_effective == 160
+        assert prov.stop_rule is None
+
+    def test_adaptive_dispatch_records_stop_rule_and_savings(self):
+        from repro.yieldsim.stats import StopRule
+
+        rule = StopRule(target_half_width=0.05, min_runs=100, batch_runs=100)
+        result = registry.execute(
+            "fig13", runs=2000, seed=3, knobs={"ms": [5, 50]}, stop=rule
+        )
+        prov = result.provenance
+        assert prov.stop_rule is not None
+        assert prov.stop_rule["target_half_width"] == 0.05
+        assert prov.stop_rule["digest"] == rule.digest()
+        assert prov.mc_runs_effective < prov.mc_runs_requested == 4000
+        for _kind, _param, requested, effective in prov.mc_points:
+            assert effective <= requested == 2000
+        # The easy point (m=5, yield ~1) stops well before the hard one.
+        assert prov.mc_points[0][3] < prov.mc_points[1][3]
+
+    def test_adaptive_option_uses_registered_rule_and_skips_flat_experiments(self):
+        adaptive = registry.execute(
+            "fig13", runs=2000, seed=3, knobs={"ms": [5]},
+            options={"adaptive": True},
+        )
+        assert adaptive.provenance.stop_rule is not None
+        expected = registry.get("fig13").budget.stop_rule
+        assert adaptive.provenance.stop_rule["digest"] == expected.digest()
+        # Non-capable experiments quietly ignore the option.
+        flat = registry.execute(
+            "table1", runs=50, seed=1, options={"adaptive": True},
+            knobs={"sizes": [8]},
+        )
+        assert flat.provenance.stop_rule is None
 
 
 class TestArtifacts:
@@ -270,6 +345,68 @@ class TestArtifacts:
         assert not mismatch and not errors
         assert {"fig13.csv", "fig13.json", "report.txt"} <= set(match)
 
+    def test_manifest_provenance_lists_per_point_budgets(self, run_dir, results):
+        """Satellite: the manifest records requested vs. effective runs for
+        every Monte-Carlo point each experiment executed."""
+        manifest = json.loads((run_dir / MANIFEST_NAME).read_text())
+        budget = manifest["experiments"]["fig13"]["provenance"]["budget"]
+        assert budget["points"], "fig13 must log its sweep points"
+        for kind, _param, requested, effective in budget["points"]:
+            assert kind == "fixed"
+            assert requested == TINY_RUNS
+            assert effective == TINY_RUNS  # flat dispatch spends the ceiling
+        assert budget["mc_runs_requested"] == sum(
+            point[2] for point in budget["points"]
+        )
+        assert budget["mc_runs_effective"] == sum(
+            point[3] for point in budget["points"]
+        )
+        assert budget["stop_rule"] is None
+
+    def test_adaptive_and_flat_bundles_differ_only_where_documented(
+        self, tmp_path
+    ):
+        """Satellite: at equal seed, an adaptive bundle differs from the
+        flat one only in the Monte-Carlo values (tables/report/charts) and
+        the provenance budget block — same file set, same schema, and the
+        adaptive JSON declares its stop rule."""
+        bundles = {}
+        for tag, options in (("flat", {}), ("adaptive", {"adaptive": True})):
+            out = tmp_path / tag
+            run = ArtifactRun(str(out), runs=2000, seed=TINY_SEED)
+            run.add(
+                registry.execute(
+                    "fig13", runs=2000, seed=TINY_SEED,
+                    options=options, knobs={"ms": [5, 50]},
+                )
+            )
+            run.finalize()
+            bundles[tag] = out
+
+        flat_files = sorted(
+            p.relative_to(bundles["flat"]).as_posix()
+            for p in bundles["flat"].rglob("*") if p.is_file()
+        )
+        adaptive_files = sorted(
+            p.relative_to(bundles["adaptive"]).as_posix()
+            for p in bundles["adaptive"].rglob("*") if p.is_file()
+        )
+        assert flat_files == adaptive_files
+
+        flat_json = read_json(str(bundles["flat"] / "fig13" / "fig13.json"))
+        adaptive_json = read_json(str(bundles["adaptive"] / "fig13" / "fig13.json"))
+        assert flat_json["headers"] == adaptive_json["headers"]
+        assert len(flat_json["rows"]) == len(adaptive_json["rows"])
+        flat_prov = flat_json["provenance"]
+        adaptive_prov = adaptive_json["provenance"]
+        assert flat_prov["stop_rule"] is None
+        assert adaptive_prov["stop_rule"] is not None
+        assert (
+            adaptive_prov["mc_runs_effective"] < flat_prov["mc_runs_effective"]
+        )
+        # Identical schema: adaptive adds no fields, it only fills them.
+        assert sorted(flat_prov) == sorted(adaptive_prov)
+
     def test_incremental_fill_preserves_entries(self, tmp_path, results):
         out = str(tmp_path / "run")
         first = ArtifactRun(out, runs=TINY_RUNS, seed=TINY_SEED)
@@ -352,6 +489,32 @@ class TestCLI:
         code = main(["show", "not-an-experiment"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_adaptive_flag_cuts_budget_and_reports(self, capsys, tmp_path):
+        out = tmp_path / "bundle"
+        assert main(
+            ["fig13", "--runs", "2000", "--seed", "5", "--adaptive",
+             "--out", str(out)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "adaptive budget:" in err
+        manifest = json.loads((out / MANIFEST_NAME).read_text())
+        budget = manifest["experiments"]["fig13"]["provenance"]["budget"]
+        assert budget["stop_rule"] is not None
+        assert budget["mc_runs_effective"] < budget["mc_runs_requested"]
+        assert all(eff <= req for _k, _p, req, eff in budget["points"])
+
+    def test_target_ci_overrides_registered_target(self, capsys):
+        assert main(
+            ["fig13", "--runs", "1500", "--target-ci", "0.05"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "adaptive budget:" in err
+
+    def test_target_ci_validation(self, capsys):
+        code = main(["fig13", "--target-ci", "-0.5"])
+        assert code == 2
+        assert "--target-ci" in capsys.readouterr().err
 
     def test_unwritable_out_fails_cleanly(self, tmp_path, capsys):
         blocker = tmp_path / "file"

@@ -244,6 +244,56 @@ class TestResultCache:
             chip_payload(dtmb26_chip, needed)
         )
 
+    def test_flat_cache_entry_never_served_to_adaptive_request(
+        self, dtmb26_chip, tmp_path
+    ):
+        """Regression: the point key includes the stop-rule digest, so a
+        cached flat-budget point cannot satisfy an adaptive request (whose
+        stream and effective budget differ), and vice versa."""
+        from repro.yieldsim.stats import StopRule
+
+        rule = StopRule(target_half_width=0.02, min_runs=200, batch_runs=200)
+        flat = SweepEngine(cache_dir=str(tmp_path))
+        flat.survival_estimates(dtmb26_chip, [(0.95, 3)], 1000)
+        assert (flat.cache_hits, flat.cache_misses) == (0, 1)
+
+        adaptive = SweepEngine(cache_dir=str(tmp_path))
+        first = adaptive.survival_estimates(
+            dtmb26_chip, [(0.95, 3)], 1000, stop=rule
+        )
+        assert (adaptive.cache_hits, adaptive.cache_misses) == (0, 1)
+
+        # The adaptive entry is re-served — with its effective budget —
+        # only to the identical adaptive request...
+        warm = SweepEngine(cache_dir=str(tmp_path))
+        again = warm.survival_estimates(dtmb26_chip, [(0.95, 3)], 1000, stop=rule)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert (again[0].successes, again[0].trials) == (
+            first[0].successes,
+            first[0].trials,
+        )
+        # ...not to a request under a *different* rule.
+        other_rule = StopRule(target_half_width=0.05, min_runs=200, batch_runs=200)
+        other = SweepEngine(cache_dir=str(tmp_path))
+        other.survival_estimates(dtmb26_chip, [(0.95, 3)], 1000, stop=other_rule)
+        assert other.cache_hits == 0
+        # And the flat entry still hits for flat requests.
+        flat_again = SweepEngine(cache_dir=str(tmp_path))
+        flat_again.survival_estimates(dtmb26_chip, [(0.95, 3)], 1000)
+        assert (flat_again.cache_hits, flat_again.cache_misses) == (1, 0)
+
+    def test_sharded_cache_key_distinct_from_flat(self, dtmb26_chip, tmp_path):
+        """Sharded (batched-stream) results live under their own keys: a
+        flat entry and a sharded entry for the same spec coexist."""
+        flat = SweepEngine(cache_dir=str(tmp_path))
+        flat.survival_estimates(dtmb26_chip, [(0.95, 6)], 1000)
+        sharded = SweepEngine(cache_dir=str(tmp_path), shard_runs=400)
+        sharded.survival_estimates(dtmb26_chip, [(0.95, 6)], 1000)
+        assert sharded.cache_hits == 0 and sharded.cache_misses == 1
+        warm = SweepEngine(cache_dir=str(tmp_path), shard_runs=400)
+        warm.survival_estimates(dtmb26_chip, [(0.95, 6)], 1000)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+
 
 class TestEngineMatchesSeedNumbers:
     def test_engine_f64_sweep_equals_seed_implementation(self):
