@@ -27,6 +27,11 @@ experiment's registered target half-width (override with
 provenance records requested vs. effective runs per point.
 ``--shard-runs N`` splits huge points into N-run, ``SeedSequence``-seeded
 shards so a single p-grid corner can use every ``--jobs`` worker.
+``--defect-model NAME[:k=v,...]`` reruns the survival sweeps under a
+spatial defect model (clustered spots, rate mixing, radial gradients —
+see :mod:`repro.yieldsim.defects`) at severity matched to the p axis;
+the scenario-pack experiments (``fig7-clustered``, ``fig9-clustered``,
+``scenario-gradient``) package the headline comparisons.
 ``--csv`` exports the rows of any tabular experiment;
 ``--out DIR`` writes the full artifact bundle (CSV + JSON + report +
 ASCII charts per experiment, plus a ``manifest.json`` with provenance:
@@ -41,11 +46,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, FaultModelError
 from repro.experiments import registry
 from repro.experiments.artifacts import ArtifactRun
 from repro.experiments.registry import Experiment, ExperimentResult
 from repro.viz.export import write_csv
+from repro.yieldsim.defects import ModelFamily, family_from_spec
 from repro.yieldsim.engine import SweepEngine
 
 __all__ = ["main", "build_parser"]
@@ -112,10 +118,19 @@ def _target_ci_from_args(args: argparse.Namespace) -> Optional[float]:
     return target
 
 
+def _model_family_from_args(args: argparse.Namespace) -> Optional[ModelFamily]:
+    """The parsed --defect-model family, or None."""
+    text = getattr(args, "defect_model", None)
+    if not text:
+        return None
+    return family_from_spec(text)
+
+
 def _execute(
     experiment: Experiment,
     args: argparse.Namespace,
     engine: Optional[SweepEngine],
+    model: Optional[ModelFamily] = None,
 ) -> ExperimentResult:
     target_ci = _target_ci_from_args(args)
     result = registry.execute(
@@ -129,6 +144,7 @@ def _execute(
             "adaptive": bool(getattr(args, "adaptive", False) or target_ci),
             "target_ci": target_ci,
         },
+        knobs={"model": model} if model is not None else None,
     )
     prov = result.provenance
     if prov.stop_rule is not None and prov.mc_runs_requested:
@@ -163,9 +179,15 @@ def _run_experiment(args: argparse.Namespace) -> int:
             f"{experiment.name} has no tabular data to export "
             "(report-only experiment)"
         )
+    model = _model_family_from_args(args)
+    if model is not None and not experiment.model_knob:
+        return _fail(
+            f"{experiment.name} does not accept --defect-model "
+            "(its fault regime is part of the experiment definition)"
+        )
     run = _artifact_run(args)
     engine = _engine_from_args(args)
-    result = _execute(experiment, args, engine)
+    result = _execute(experiment, args, engine, model=model)
     _print_result(result, args)
     if args.csv:
         write_csv(args.csv, result.headers, result.rows)
@@ -185,9 +207,15 @@ def _run_all(args: argparse.Namespace) -> int:
         )
     engine = _engine_from_args(args)
     run = _artifact_run(args)
+    model = _model_family_from_args(args)
     for experiment in registry.all_experiments():
         _emit(f"\n=== {experiment.name} ===")
-        result = _execute(experiment, args, engine)
+        # --defect-model applies to the sweeps that accept a family; the
+        # fixed-regime experiments run unchanged (documented in --help).
+        result = _execute(
+            experiment, args, engine,
+            model=model if experiment.model_knob else None,
+        )
         _print_result(result, args)
         if run is not None:
             run.add(result)
@@ -295,6 +323,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "registered target)",
         )
         p.add_argument(
+            "--defect-model", type=str, default=None, metavar="NAME[:k=v,...]",
+            help="spatial defect model for the survival sweeps (fig9/fig10): "
+                 "iid (default), spot[:radius=R], negbin[:alpha=A], "
+                 "gradient[:spread=S,power=W]; severity stays matched to "
+                 "the sweep's p axis.  Under `all`, applies to the "
+                 "model-capable experiments and leaves the rest unchanged",
+        )
+        p.add_argument(
             "--shard-runs", type=int, default=None, metavar="N",
             help="split any point bigger than N runs into N-run shards with "
                  "SeedSequence-spawned seeds and (with --jobs) spread them "
@@ -355,6 +391,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except FaultModelError as exc:
+        # A malformed --defect-model spec is a CLI mistake, not a bug.
+        return _fail(str(exc))
     except ExperimentError as exc:
         # User-facing registry/artifact mistakes (unknown experiment name,
         # unwritable --out path, corrupt manifest) get a clean error, not

@@ -15,6 +15,9 @@ module                reproduces
 ``ablation_*``        design-choice ablations (matching, defects,
                       hex-vs-square electrodes)
 ``design_targeting``  the (process, target-yield) design selector
+``scenario_*``        scenario packs: paper figures rerun under the
+                      pluggable spatial defect models (clustered
+                      spots, wafer gradients, rate mixing)
 ====================  ============================================
 
 Figure 8 (the bipartite-matching example) is exercised directly by the
@@ -40,6 +43,7 @@ from repro.experiments import (  # noqa: F401 - re-exported driver modules
     fig12,
     fig13,
     figs3to6,
+    scenario_clustered,
     table1,
 )
 from repro.experiments import artifacts, registry  # noqa: F401
@@ -59,6 +63,7 @@ __all__ = [
     "ablation_defects",
     "ablation_hexsquare",
     "design_targeting",
+    "scenario_clustered",
     "registry",
     "artifacts",
     "format_table",

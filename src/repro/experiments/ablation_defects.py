@@ -19,10 +19,9 @@ from repro.designs.interstitial import build_with_primary_count
 from repro.designs.spec import DesignSpec
 from repro.experiments.registry import BudgetPolicy, register
 from repro.experiments.report import format_table
-from repro.faults.injection import BernoulliInjector, ClusteredInjector
-from repro.reconfig.local import is_repairable
+from repro.yieldsim.defects import IIDBernoulli, SpotDefects, geometry_for
 from repro.yieldsim.engine import SweepEngine
-from repro.yieldsim.stats import YieldEstimate
+from repro.yieldsim.sweeps import defect_model_sweep
 
 __all__ = ["DefectModelAblationResult", "run"]
 
@@ -50,16 +49,6 @@ class DefectModelAblationResult:
         return [float(row[3]) for row in self.rows]
 
 
-def _estimate(chip, injector, trials: int, seed: int) -> YieldEstimate:
-    successes = 0
-    for t in range(trials):
-        working = chip.copy()
-        injector.sample(working, seed=seed + t).apply_to(working)
-        if is_repairable(working):
-            successes += 1
-    return YieldEstimate(successes=successes, trials=trials)
-
-
 @register(
     "ablation-defects",
     title="Defect-model ablation: independent vs clustered spot defects",
@@ -76,37 +65,33 @@ def run(
     n: int = 120,
     expected_faults: Sequence[float] = (2.0, 4.0, 6.0, 8.0),
 ) -> DefectModelAblationResult:
-    """Match E[faulty cells] between the two injectors and compare yield.
+    """Match E[faulty cells] between the two models and compare yield.
 
-    ``runs`` is the number of fault-map trials per injector and severity.
-    The clustered injector is not expressible as an engine regime, so
-    ``engine`` is accepted for the uniform experiment signature but has
-    no effect.
-
-    A radius-1 spot on the hex lattice kills up to 7 cells (fewer at the
-    boundary, ~6.3 on average for interior-dominated arrays); the spot
-    rate is set so rate * avg_spot_size * cells == expected faults.
+    ``runs`` is the number of fault-map trials per model and severity.
+    Both regimes run as vectorized engine points
+    (:class:`~repro.yieldsim.defects.IIDBernoulli` vs a
+    :class:`~repro.yieldsim.defects.SpotDefects` calibrated to the same
+    expected number of dead cells), so ``engine`` sharding/caching applies
+    and the per-severity pairs share common random numbers via the sweep's
+    shared seed.
     """
-    trials = runs
     chip = build_with_primary_count(spec, n).build()
+    geometry = geometry_for(chip)
     cells = len(chip)
-    # Average radius-1 spot size on this footprint.
-    sizes = [1 + chip.degree(c) for c in chip.coords]
-    avg_spot = sum(sizes) / len(sizes)
+    models = []
+    for expected in expected_faults:
+        models.append(IIDBernoulli(1.0 - expected / cells))
+        models.append(SpotDefects.calibrate(geometry, expected / cells, radius=1))
+    points = defect_model_sweep(chip, models, runs=runs, seed=seed, engine=engine)
     rows = []
     for i, expected in enumerate(expected_faults):
-        q = expected / cells
-        bern = BernoulliInjector(1.0 - q)
-        rate = expected / (avg_spot * cells)
-        clus = ClusteredInjector(rate, radius=1)
-        y_ind = _estimate(chip, bern, trials, seed + 10_000 * i)
-        y_clu = _estimate(chip, clus, trials, seed + 10_000 * i + 5_000)
+        y_ind, y_clu = points[2 * i].yield_value, points[2 * i + 1].yield_value
         rows.append(
             (
                 f"{expected:.1f}",
-                f"{y_ind.value:.4f}",
-                f"{y_clu.value:.4f}",
-                f"{y_ind.value - y_clu.value:.4f}",
+                f"{y_ind:.4f}",
+                f"{y_clu:.4f}",
+                f"{y_ind - y_clu:.4f}",
             )
         )
     return DefectModelAblationResult(n=n, rows=tuple(rows))

@@ -93,6 +93,7 @@ class Fig10Result:
     paper_ref="Figure 10",
     order=60,
     budget=BudgetPolicy(stop_rule=DEFAULT_STOP_RULE),
+    model_knob=True,
     epilogue=lambda raw: ("", f"crossovers: {raw.crossovers()}"),
     charts=lambda raw: (("effective-yield", raw.format_chart()),),
 )
@@ -105,9 +106,16 @@ def run(
     n: int = DEFAULT_N,
     ps: Sequence[float] = DEFAULT_P_GRID,
     stop: Optional[StopRule] = None,
+    model=None,
 ) -> Fig10Result:
-    """The Figure 10 sweep: all four designs at n = 100 primaries."""
+    """The Figure 10 sweep: all four designs at n = 100 primaries.
+
+    ``model`` reruns the crossover analysis under a spatial defect-model
+    family (the CLI's ``--defect-model``) — useful for asking whether the
+    paper's EY crossovers survive clustered defects.
+    """
     points = survival_sweep(
-        designs, [n], ps, runs=runs, seed=seed, engine=engine, stop=stop
+        designs, [n], ps, runs=runs, seed=seed, engine=engine, stop=stop,
+        model=model,
     )
     return Fig10Result(n=n, points=tuple(points))

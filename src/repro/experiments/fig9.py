@@ -87,6 +87,7 @@ class Fig9Result:
     paper_ref="Figure 9",
     order=50,
     budget=BudgetPolicy(stop_rule=DEFAULT_STOP_RULE),
+    model_knob=True,
     charts=lambda raw: tuple(
         (f"n-{n}", raw.format_chart(n)) for n in sorted({pt.n for pt in raw.points})
     ),
@@ -100,15 +101,19 @@ def run(
     ns: Sequence[int] = DEFAULT_NS,
     ps: Sequence[float] = DEFAULT_P_GRID,
     stop: Optional[StopRule] = None,
+    model=None,
 ) -> Fig9Result:
     """The Figure 9 sweep (paper defaults: 10 000 runs per point).
 
     Pass a configured :class:`SweepEngine` to shard the 99 points across
     worker processes and/or reuse an on-disk result cache; pass a
     :class:`StopRule` to let each point stop as soon as its Wilson
-    interval is as narrow as the figure needs.
+    interval is as narrow as the figure needs; pass a defect-model family
+    (``model``, e.g. ``family_from_spec("spot:radius=1")`` — the CLI's
+    ``--defect-model``) to rerun the figure under a spatial defect regime.
     """
     points = survival_sweep(
-        designs, ns, ps, runs=runs, seed=seed, engine=engine, stop=stop
+        designs, ns, ps, runs=runs, seed=seed, engine=engine, stop=stop,
+        model=model,
     )
     return Fig9Result(points=tuple(points))

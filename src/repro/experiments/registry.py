@@ -186,6 +186,9 @@ class Experiment:
     report: Optional[ReportFn] = None
     epilogue: Optional[EpilogueFn] = None
     charts: Optional[ChartsFn] = None
+    #: True when the driver's ``run`` accepts a ``model=`` defect-model
+    #: family (the CLI's ``--defect-model`` applies only to these).
+    model_knob: bool = False
 
     @property
     def has_charts(self) -> bool:
@@ -217,6 +220,7 @@ class Experiment:
             f"title:     {self.title}",
             f"aliases:   {', '.join(self.aliases) if self.aliases else '-'}",
             f"budget:    {self.budget.describe()}",
+            f"defects:   {'--defect-model NAME[:k=v,...] supported' if self.model_knob else 'defined by the experiment'}",
             f"tabular:   {'yes (CSV/JSON artifacts)' if self.tabular else 'no (report only)'}",
             f"charts:    {'yes' if self.has_charts else 'no'}",
             f"driver:    {self.runner.__module__}.run",
@@ -255,6 +259,25 @@ class Provenance:
     mc_runs_requested: int = 0
     mc_runs_effective: int = 0
     mc_points: Tuple[Tuple[object, ...], ...] = ()
+    #: distinct (name, digest) of every explicit defect model the dispatch
+    #: sampled from, in first-use order; empty for the classic i.i.d. and
+    #: fixed-count regimes.
+    defect_models: Tuple[Tuple[str, str], ...] = ()
+
+    def _defect_model_block(self) -> Dict[str, object]:
+        """The ``defect_models`` entry, present only for model dispatches.
+
+        Omitted (not emptied) for the classic i.i.d./fixed regimes so
+        their artifacts stay byte-identical to pre-subsystem bundles.
+        """
+        if not self.defect_models:
+            return {}
+        return {
+            "defect_models": [
+                {"name": name, "digest": digest}
+                for name, digest in self.defect_models
+            ]
+        }
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -275,6 +298,8 @@ class Provenance:
                 # One [kind, param, requested, effective] row per executed
                 # Monte-Carlo point, in execution order.
                 "points": [list(point) for point in self.mc_points],
+                # Which failure-map distributions produced those points.
+                **self._defect_model_block(),
             },
             "wall_time_s": round(self.wall_time_s, 6),
             "digest": self.digest,
@@ -299,6 +324,7 @@ class Provenance:
             "stop_rule": self.stop_rule,
             "mc_runs_requested": self.mc_runs_requested,
             "mc_runs_effective": self.mc_runs_effective,
+            **self._defect_model_block(),
             "digest": self.digest,
         }
 
@@ -395,6 +421,7 @@ def register(
     report: Optional[ReportFn] = None,
     epilogue: Optional[EpilogueFn] = None,
     charts: Optional[ChartsFn] = None,
+    model_knob: bool = False,
 ) -> Callable[[Callable[..., object]], Callable[..., object]]:
     """Class the decorated ``run`` function as a registered experiment.
 
@@ -415,6 +442,7 @@ def register(
             report=report,
             epilogue=epilogue,
             charts=charts,
+            model_knob=model_knob,
         )
         _add(experiment)
         return fn
@@ -509,6 +537,12 @@ def execute(
     )
     wall = time.perf_counter() - start
     points = track.point_log[log0:]
+    models: List[Tuple[str, str]] = []
+    for point in points:
+        if point.model is not None and point.model_digest is not None:
+            pair = (point.model, point.model_digest)
+            if pair not in models:
+                models.append(pair)
 
     report = experiment.render_report(raw, options)
     epilogue = experiment.render_epilogue(raw)
@@ -547,6 +581,7 @@ def execute(
             (point.kind, point.param, point.requested, point.effective)
             for point in points
         ),
+        defect_models=tuple(models),
     )
     return ExperimentResult(
         experiment=experiment,

@@ -21,7 +21,7 @@ reproducible from a seed.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -49,11 +49,18 @@ CATASTROPHIC_KINDS = (
 
 _DEFAULT_KIND_WEIGHTS = (0.3, 0.3, 0.4)
 
-RngLike = Union[int, np.random.Generator, None]
+RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def make_rng(seed: RngLike = None) -> np.random.Generator:
-    """Normalize ``seed`` (int, Generator or None) into a Generator."""
+    """Normalize a seed into a Generator.
+
+    Accepts an int, an existing ``Generator`` (passed through), a
+    ``SeedSequence`` (consumed directly, matching the engine's
+    ``SeedSequence.spawn`` shard-seed plumbing — a spawned child can feed
+    any sampler without first being collapsed to an integer), or ``None``
+    for fresh OS entropy.
+    """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
@@ -147,6 +154,13 @@ class ClusteredInjector:
     ``centers_per_cell`` is the expected number of defect centers per array
     cell (a Poisson rate); each center lands on a uniformly random cell and
     kills every cell within lattice distance ``radius`` of it.
+
+    This is the object-level view of
+    :class:`repro.yieldsim.defects.SpotDefects` — sampling delegates to
+    the vectorized model (one code path for the spatial statistics), so a
+    fault map drawn here kills exactly the cells the engine's survival
+    matrix would kill at the same seed; this injector merely adds the
+    per-center fault-kind attribution the test/diagnosis layer wants.
     """
 
     def __init__(self, centers_per_cell: float, radius: int = 1):
@@ -159,33 +173,51 @@ class ClusteredInjector:
         self.centers_per_cell = centers_per_cell
         self.radius = radius
 
+    def _model(self):
+        # Imported lazily: repro.yieldsim pulls this module in through the
+        # kernel, so a top-level import would be circular.
+        from repro.yieldsim.defects import SpotDefects
+
+        return SpotDefects(self.centers_per_cell, self.radius)
+
     def sample(self, chip: Biochip, seed: RngLike = None) -> FaultMap:
+        from repro.yieldsim.defects import geometry_for
+
         rng = make_rng(seed)
-        coords = chip.coords
-        count = rng.poisson(self.centers_per_cell * len(coords))
+        geometry = geometry_for(chip)
+        model = self._model()
+        _, centers = model.sample_centers(geometry, 1, rng)
         faults: List[Fault] = []
-        if count:
-            centers = rng.choice(len(coords), size=count, replace=True)
-            kinds = _attribute_kinds(count, rng)
-            for idx, kind in zip(centers, kinds):
-                center = coords[idx]
-                killed = self._spot_cells(chip, center)
-                faults.extend(Fault(c, kind) for c in killed)
+        if centers.size:
+            # Kinds are attributed per center *after* the spatial draw, so
+            # the set of killed cells is exactly the model's at this seed.
+            kinds = _attribute_kinds(len(centers), rng)
+            idx, mask = geometry.ball(self.radius)
+            coords = chip.coords
+            for center, kind in zip(centers, kinds):
+                killed = idx[center][mask[center]]
+                faults.extend(Fault(coords[c], kind) for c in killed)
         return FaultMap(faults)
 
-    def _spot_cells(self, chip: Biochip, center: Hashable) -> List[Hashable]:
-        """All on-chip cells within ``radius`` moves of ``center`` (BFS)."""
-        frontier = [center]
-        seen = {center}
-        for _ in range(self.radius):
-            next_frontier: List[Hashable] = []
-            for coord in frontier:
-                for neighbor in chip.neighbors(coord):
-                    if neighbor not in seen:
-                        seen.add(neighbor)
-                        next_frontier.append(neighbor)
-            frontier = next_frontier
-        return sorted(seen)
+    def sample_survival_matrix(
+        self, n_cells_or_chip, runs: int, seed: RngLike = None
+    ) -> np.ndarray:
+        """Boolean ``(runs, cells)`` survival matrix via the vectorized model.
+
+        Unlike the Bernoulli injector, spot sampling needs the chip's
+        geometry, so the first argument must be the :class:`Biochip`
+        itself (an integer cell count cannot describe adjacency).
+        """
+        if not isinstance(n_cells_or_chip, Biochip):
+            raise FaultModelError(
+                "clustered sampling needs the Biochip (spatial adjacency), "
+                f"got {type(n_cells_or_chip).__name__}"
+            )
+        from repro.yieldsim.defects import geometry_for
+
+        return self._model().sample_batch(
+            geometry_for(n_cells_or_chip), runs, make_rng(seed)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetics
         return (

@@ -6,6 +6,9 @@
   the higher-redundancy designs (Figures 9, 13);
 * :mod:`repro.yieldsim.effective` — the EY = Y/(1+RR) trade-off metric
   (Figure 10);
+* :mod:`repro.yieldsim.defects` — pluggable spatial defect models
+  (i.i.d., fixed-count, clustered spots, rate mixing, radial gradients)
+  behind every Monte-Carlo regime;
 * :mod:`repro.yieldsim.kernel` — the vectorized screen->match
   repairability kernel behind the sweeps;
 * :mod:`repro.yieldsim.engine` — parallel sweep execution with derived
@@ -20,6 +23,17 @@ from repro.yieldsim.analytical import (
     yield_curve,
     yield_no_redundancy,
 )
+from repro.yieldsim.defects import (
+    DefectGeometry,
+    DefectModel,
+    FixedCount,
+    IIDBernoulli,
+    NegativeBinomialClustered,
+    RadialGradient,
+    SpotDefects,
+    family_from_spec,
+    geometry_for,
+)
 from repro.yieldsim.effective import chip_effective_yield, effective_yield
 from repro.yieldsim.engine import EnginePoint, SweepEngine
 from repro.yieldsim.exact import MAX_EXACT_CELLS, exact_yield
@@ -29,10 +43,12 @@ from repro.yieldsim.stats import YieldEstimate, wilson_interval
 from repro.yieldsim.sweeps import (
     DEFAULT_P_GRID,
     DefectCountPoint,
+    DefectModelPoint,
     SurvivalPoint,
     analytical_curves_dtmb16,
     default_engine,
     defect_count_sweep,
+    defect_model_sweep,
     effective_yield_sweep,
     survival_sweep,
 )
@@ -43,6 +59,15 @@ __all__ = [
     "PointSpec",
     "RepairStructure",
     "ScreenStats",
+    "DefectModel",
+    "DefectGeometry",
+    "IIDBernoulli",
+    "FixedCount",
+    "SpotDefects",
+    "NegativeBinomialClustered",
+    "RadialGradient",
+    "family_from_spec",
+    "geometry_for",
     "default_engine",
     "yield_no_redundancy",
     "flower_yield",
@@ -58,9 +83,11 @@ __all__ = [
     "MAX_EXACT_CELLS",
     "SurvivalPoint",
     "DefectCountPoint",
+    "DefectModelPoint",
     "survival_sweep",
     "effective_yield_sweep",
     "defect_count_sweep",
+    "defect_model_sweep",
     "analytical_curves_dtmb16",
     "DEFAULT_P_GRID",
 ]

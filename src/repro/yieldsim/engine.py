@@ -82,12 +82,12 @@ from repro.yieldsim.kernel import (
     PointSpec,
     RepairStructure,
     ScreenStats,
-    fixed_fault_successes,
+    model_successes,
     point_entropy,
+    point_model,
     shard_plan,
     shard_seed,
     simulate_points,
-    survival_successes,
 )
 from repro.yieldsim.stats import StopRule, YieldEstimate
 
@@ -203,8 +203,7 @@ def _compute_batch(
 def _compute_shard(
     digest: str,
     payload: Dict[str, object],
-    kind: str,
-    param: float,
+    spec: PointSpec,
     size: int,
     entropy: int,
     index: int,
@@ -214,15 +213,14 @@ def _compute_shard(
 
     The shard's stream is fully determined by ``(entropy, index)`` via
     :func:`~repro.yieldsim.kernel.shard_seed`, so any worker — or the
-    calling process — computes the identical batch.
+    calling process — computes the identical batch.  The point's defect
+    model (explicit, or the legacy-kind alias) travels inside ``spec``.
     """
     struct = _structure_for(digest, payload)
     rng = np.random.default_rng(shard_seed(entropy, index))
-    dtype = np.dtype(dtype_name).type
-    if kind == "survival":
-        got, stats = survival_successes(struct, param, size, seed=rng, dtype=dtype)
-    else:
-        got, stats = fixed_fault_successes(struct, int(param), size, seed=rng)
+    got, stats = model_successes(
+        struct, point_model(spec), size, seed=rng, dtype=np.dtype(dtype_name).type
+    )
     return got, stats.as_dict()
 
 
@@ -245,13 +243,21 @@ class EnginePoint:
 
 @dataclass(frozen=True)
 class PointRecord:
-    """Requested-vs-effective budget accounting for one executed point."""
+    """Requested-vs-effective budget accounting for one executed point.
+
+    ``model``/``model_digest`` name the explicit defect model of a
+    ``"model"``-kind point (None for the legacy i.i.d./fixed regimes), so
+    provenance consumers can attribute every Monte-Carlo run to the
+    distribution that produced it.
+    """
 
     kind: str
     param: float
     requested: int
     effective: int
     adaptive: bool
+    model: Optional[str] = None
+    model_digest: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -260,6 +266,8 @@ class PointRecord:
             "requested": self.requested,
             "effective": self.effective,
             "adaptive": self.adaptive,
+            "model": self.model,
+            "model_digest": self.model_digest,
         }
 
 
@@ -351,6 +359,11 @@ class SweepEngine:
             "dtype": np.dtype(self.dtype).name,
             "version": ENGINE_VERSION,
         }
+        if spec.model is not None:
+            # The model's content digest keys the distribution: two models
+            # at equal severity (or a model point and a legacy point at
+            # the same p) can never collide in the cache.
+            ident["defect_model"] = spec.model.digest()
         if batch is not None:
             # Batched points live under a distinct key family: the batch
             # size defines the RNG stream and the stop-rule digest defines
@@ -567,6 +580,10 @@ class SweepEngine:
                     requested=task.spec.runs,
                     effective=trials,
                     adaptive=task.stop is not None,
+                    model=task.spec.model.name if task.spec.model else None,
+                    model_digest=(
+                        task.spec.model.digest() if task.spec.model else None
+                    ),
                 )
             )
             estimates.append(YieldEstimate(successes=got, trials=trials))
@@ -606,7 +623,7 @@ class SweepEngine:
                 for k, size in enumerate(plans[i]):
                     got, stats = _compute_shard(
                         digests[i], payload_by_digest[digests[i]],
-                        spec.kind, spec.param, size, entropies[i], k, dtype_name,
+                        spec, size, entropies[i], k, dtype_name,
                     )
                     self.screen_stats.merge(ScreenStats.from_dict(stats))
                     successes += got
@@ -640,7 +657,7 @@ class SweepEngine:
                     spec = tasks[i].spec
                     futures[(i, k)] = pool.submit(
                         _compute_shard, digests[i], payload_by_digest[digests[i]],
-                        spec.kind, spec.param, plans[i][k],
+                        spec, plans[i][k],
                         entropies[i], k, dtype_name,
                     )
                     break

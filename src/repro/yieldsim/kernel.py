@@ -51,6 +51,13 @@ import numpy as np
 from repro.chip.biochip import Biochip
 from repro.errors import SimulationError
 from repro.faults.injection import RngLike, make_rng
+from repro.yieldsim.defects import (
+    DefectGeometry,
+    DefectModel,
+    FixedCount,
+    IIDBernoulli,
+    fixed_fault_alive,
+)
 from repro.yieldsim.stats import split_batches
 
 __all__ = [
@@ -67,6 +74,8 @@ __all__ = [
     "fixed_fault_alive",
     "survival_successes",
     "fixed_fault_successes",
+    "model_successes",
+    "point_model",
     "simulate_points",
     "point_entropy",
     "shard_seed",
@@ -146,6 +155,9 @@ class RepairStructure:
         coords = chip.coords
         index: Dict[Hashable, int] = {c: i for i, c in enumerate(coords)}
         self.n_cells = len(coords)
+        #: retained for lazy defect-geometry derivation (spatial models)
+        self.chip = chip
+        self._geometry: Optional[DefectGeometry] = None
 
         if needed is None:
             needed_coords = [c.coord for c in chip.primaries()]
@@ -210,6 +222,18 @@ class RepairStructure:
             for d, j in enumerate(lst):
                 self.rev_pos[s, d] = j
                 self.rev_mask[s, d] = True
+
+    @property
+    def geometry(self) -> DefectGeometry:
+        """The chip's :class:`DefectGeometry`, built on first use.
+
+        Lazy so structures serving i.i.d.-only workloads never pay for
+        adjacency/ball derivation; cached so every model sampled on this
+        structure (across engine batches) shares one instance.
+        """
+        if self._geometry is None:
+            self._geometry = DefectGeometry.from_chip(self.chip)
+        return self._geometry
 
 
 def kuhn_repairable(
@@ -582,28 +606,37 @@ def survival_batch_sizes(runs: int, n_cells: int) -> Iterator[int]:
         yield size
 
 
-def fixed_fault_alive(
-    rng: np.random.Generator, n_cells: int, m: int, size: int
-) -> np.ndarray:
-    """Boolean ``(size, n_cells)`` survival matrix with exactly m faults/run.
-
-    Draws a uniform random m-subset per run by taking the m smallest of
-    ``n_cells`` i.i.d. uniforms (argpartition) — one vectorized draw for
-    the whole batch instead of ``size`` Python-level ``rng.choice`` calls.
-    """
-    alive = np.ones((size, n_cells), dtype=bool)
-    if m == 0:
-        return alive
-    if m >= n_cells:
-        alive[:] = False
-        return alive
-    u = rng.random((size, n_cells))
-    faults = np.argpartition(u, m, axis=1)[:, :m]
-    alive[np.arange(size)[:, None], faults] = False
-    return alive
-
-
 # -- full per-point simulations ----------------------------------------------
+
+def model_successes(
+    struct: RepairStructure,
+    model: DefectModel,
+    runs: int,
+    seed: RngLike = None,
+    dtype: type = np.float32,
+) -> Tuple[int, ScreenStats]:
+    """Successes among ``runs`` fault maps drawn from a defect model.
+
+    The one sampling loop behind every point regime: the model draws each
+    ~8 MB batch of survival rows from the point's Generator (the exact
+    batching of :func:`survival_batch_sizes`, so legacy streams are
+    preserved model-for-model), and the screening funnel decides them.
+    The result is a deterministic function of
+    (chip, model params, runs, seed, dtype).
+    """
+    if runs < 1:
+        raise SimulationError(f"runs must be >= 1, got {runs}")
+    rng = make_rng(seed)
+    geometry = struct.geometry
+    successes = 0
+    total = ScreenStats()
+    for size in survival_batch_sizes(runs, struct.n_cells):
+        alive = model.sample_batch(geometry, size, rng, dtype=dtype)
+        got, stats = count_repairable(struct, alive)
+        successes += got
+        total.merge(stats)
+    return successes, total
+
 
 def survival_successes(
     struct: RepairStructure,
@@ -614,43 +647,58 @@ def survival_successes(
 ) -> Tuple[int, ScreenStats]:
     """Successes among ``runs`` i.i.d.-survival fault maps at probability p.
 
-    The default ``float32`` uniforms halve RNG cost; pass
-    ``dtype=np.float64`` to reproduce the exact RNG stream of the original
-    ``YieldSimulator.run_survival`` (same batching, same draws), in which
-    case the result is bit-identical to the brute-force simulator — every
-    funnel reduction is exact.  Either way the result is a deterministic
-    function of (chip, p, runs, seed, dtype).
+    A thin wrapper over :func:`model_successes` with
+    :class:`~repro.yieldsim.defects.IIDBernoulli` — which reproduces the
+    historical stream draw for draw.  The default ``float32`` uniforms
+    halve RNG cost; pass ``dtype=np.float64`` to reproduce the exact RNG
+    stream of the original ``YieldSimulator.run_survival`` (same batching,
+    same draws), in which case the result is bit-identical to the
+    brute-force simulator — every funnel reduction is exact.
     """
     if not 0.0 <= p <= 1.0:
         raise SimulationError(f"survival probability must be in [0, 1], got {p}")
-    if runs < 1:
-        raise SimulationError(f"runs must be >= 1, got {runs}")
-    rng = make_rng(seed)
-    successes = 0
-    total = ScreenStats()
-    for size in survival_batch_sizes(runs, struct.n_cells):
-        alive = rng.random((size, struct.n_cells), dtype=dtype) < p
-        got, stats = count_repairable(struct, alive)
-        successes += got
-        total.merge(stats)
-    return successes, total
+    return model_successes(struct, IIDBernoulli(p), runs, seed, dtype=dtype)
 
 
 @dataclass(frozen=True)
 class PointSpec:
     """One Monte-Carlo point: a fault regime, its parameter and a seed.
 
-    ``kind`` is ``"survival"`` (``param`` = survival probability p) or
-    ``"fixed"`` (``param`` = fault count m).  ``seed`` feeds
-    :func:`repro.faults.injection.make_rng`; every point owns its own
-    generator, so results never depend on which other points are computed
-    alongside it — the contract that makes sweep sharding bit-stable.
+    ``kind`` is ``"survival"`` (``param`` = survival probability p),
+    ``"fixed"`` (``param`` = fault count m) or ``"model"`` (``model``
+    carries an explicit :class:`~repro.yieldsim.defects.DefectModel`;
+    ``param`` is its headline scalar, e.g. the sweep's nominal p).  The
+    legacy kinds are aliases for :class:`IIDBernoulli`/:class:`FixedCount`
+    — see :func:`point_model` — and keep their historical streams.
+
+    ``seed`` feeds :func:`repro.faults.injection.make_rng`; every point
+    owns its own generator, so results never depend on which other points
+    are computed alongside it — the contract that makes sweep sharding
+    bit-stable.
     """
 
     kind: str
     param: float
     runs: int
     seed: object = None
+    model: Optional[DefectModel] = None
+
+    @classmethod
+    def from_model(
+        cls,
+        model: DefectModel,
+        runs: int,
+        seed: object = None,
+        param: Optional[float] = None,
+    ) -> "PointSpec":
+        """A ``"model"``-kind point; ``param`` defaults to the severity."""
+        return cls(
+            kind="model",
+            param=model.severity if param is None else param,
+            runs=runs,
+            seed=seed,
+            model=model,
+        )
 
     def validate(self, n_cells: int) -> None:
         if self.runs < 1:
@@ -666,8 +714,28 @@ class PointSpec:
                 raise SimulationError(f"fault count must be an int >= 0, got {self.param}")
             if m > n_cells:
                 raise SimulationError(f"cannot place {m} faults on {n_cells} cells")
+        elif self.kind == "model":
+            if self.model is None:
+                raise SimulationError("a 'model' point needs a DefectModel")
+            self.model.validate(n_cells)
         else:
             raise SimulationError(f"unknown point kind {self.kind!r}")
+
+
+def point_model(spec: PointSpec) -> DefectModel:
+    """The defect model a point samples from.
+
+    The legacy kinds map onto the models that reproduce their historical
+    streams exactly, so every regime runs through the one
+    :func:`model_successes` loop.
+    """
+    if spec.kind == "survival":
+        return IIDBernoulli(spec.param)
+    if spec.kind == "fixed":
+        return FixedCount(int(spec.param))
+    if spec.model is None:
+        raise SimulationError(f"point kind {spec.kind!r} carries no model")
+    return spec.model
 
 
 def simulate_points(
@@ -687,14 +755,9 @@ def simulate_points(
     total = ScreenStats()
     for point in points:
         point.validate(struct.n_cells)
-        if point.kind == "survival":
-            got, stats = survival_successes(
-                struct, point.param, point.runs, point.seed, dtype=dtype
-            )
-        else:
-            got, stats = fixed_fault_successes(
-                struct, int(point.param), point.runs, point.seed
-            )
+        got, stats = model_successes(
+            struct, point_model(point), point.runs, point.seed, dtype=dtype
+        )
         results.append(got)
         total.merge(stats)
     return results, total
@@ -713,14 +776,4 @@ def fixed_fault_successes(
         raise SimulationError(f"fault count must be >= 0, got {m}")
     if m > struct.n_cells:
         raise SimulationError(f"cannot place {m} faults on {struct.n_cells} cells")
-    if runs < 1:
-        raise SimulationError(f"runs must be >= 1, got {runs}")
-    rng = make_rng(seed)
-    successes = 0
-    total = ScreenStats()
-    for size in survival_batch_sizes(runs, struct.n_cells):
-        alive = fixed_fault_alive(rng, struct.n_cells, m, size)
-        got, stats = count_repairable(struct, alive)
-        successes += got
-        total.merge(stats)
-    return successes, total
+    return model_successes(struct, FixedCount(m), runs, seed)

@@ -18,13 +18,14 @@ bit-identical to the default serial engine either way.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chip.biochip import Biochip
 from repro.designs.interstitial import build_with_primary_count
 from repro.designs.spec import DesignSpec
 from repro.errors import SimulationError
 from repro.yieldsim.analytical import dtmb16_yield, yield_no_redundancy
+from repro.yieldsim.defects import DefectModel
 from repro.yieldsim.effective import chip_effective_yield
 from repro.yieldsim.engine import EnginePoint, SweepEngine
 from repro.yieldsim.kernel import PointSpec
@@ -34,12 +35,19 @@ from repro.yieldsim.stats import StopRule, YieldEstimate
 __all__ = [
     "SurvivalPoint",
     "DefectCountPoint",
+    "DefectModelPoint",
     "survival_sweep",
     "effective_yield_sweep",
     "defect_count_sweep",
+    "defect_model_sweep",
     "analytical_curves_dtmb16",
     "default_engine",
 ]
+
+#: A p-indexed defect-model family: maps (chip, p) to the model that plays
+#: "i.i.d. survival at p" under some spatial regime (see
+#: :class:`repro.yieldsim.defects.ModelFamily`).
+ModelFamilyLike = Callable[[Biochip, float], DefectModel]
 
 #: The survival-probability grid the paper's figures span.
 DEFAULT_P_GRID: Tuple[float, ...] = tuple(
@@ -60,13 +68,18 @@ def default_engine() -> SweepEngine:
 
 @dataclass(frozen=True)
 class SurvivalPoint:
-    """One Monte-Carlo point of a yield-vs-p sweep."""
+    """One Monte-Carlo point of a yield-vs-p sweep.
+
+    ``model`` names the spatial defect model the point was sampled under
+    (``None`` for the default i.i.d. regime).
+    """
 
     design: str
     n: int
     p: float
     estimate: YieldEstimate
     effective: float
+    model: Optional[str] = None
 
     @property
     def yield_value(self) -> float:
@@ -85,6 +98,20 @@ class DefectCountPoint:
         return self.estimate.value
 
 
+@dataclass(frozen=True)
+class DefectModelPoint:
+    """One Monte-Carlo point of a defect-model sweep on a fixed chip."""
+
+    model: str
+    severity: float
+    estimate: YieldEstimate
+    digest: str
+
+    @property
+    def yield_value(self) -> float:
+        return self.estimate.value
+
+
 def survival_sweep(
     specs: Sequence[DesignSpec],
     ns: Sequence[int],
@@ -93,6 +120,7 @@ def survival_sweep(
     seed: int = 2005,
     engine: Optional[SweepEngine] = None,
     stop: Optional[StopRule] = None,
+    model: Optional[ModelFamilyLike] = None,
 ) -> List[SurvivalPoint]:
     """Monte-Carlo yield of each design at each (n, p) — Figure 9's data.
 
@@ -106,6 +134,13 @@ def survival_sweep(
     point spends only what it needs to reach the rule's target Wilson
     half-width, with ``runs`` as the flat ceiling (see
     :class:`~repro.yieldsim.stats.StopRule`).
+
+    ``model`` swaps the failure-map distribution: a defect-model family
+    (``(chip, p) -> DefectModel``, e.g. from
+    :func:`repro.yieldsim.defects.family_from_spec`) replaces the default
+    i.i.d.-Bernoulli regime at every point, with p staying the sweep's
+    severity axis.  The default (``None``) is bit-identical to the
+    historical i.i.d. sweep.
     """
     engine = engine or default_engine()
     meta: List[Tuple[DesignSpec, int, float]] = []
@@ -121,14 +156,31 @@ def survival_sweep(
 
     # One engine call for the whole sweep: points on the same chip form
     # shard chunks, and all chips' points load-balance across workers.
-    tasks = [
-        EnginePoint(chip, PointSpec("survival", p, runs, pseed), stop=stop)
-        for chip, p, pseed in point_args
-    ]
+    if model is None:
+        tasks = [
+            EnginePoint(chip, PointSpec("survival", p, runs, pseed), stop=stop)
+            for chip, p, pseed in point_args
+        ]
+        model_names: List[Optional[str]] = [None] * len(point_args)
+    else:
+        tasks = []
+        model_names = []
+        for chip, p, pseed in point_args:
+            instance = model(chip, p)
+            tasks.append(
+                EnginePoint(
+                    chip,
+                    PointSpec.from_model(instance, runs, pseed, param=p),
+                    stop=stop,
+                )
+            )
+            model_names.append(instance.name)
     estimates = engine.run_points(tasks)
 
     points: List[SurvivalPoint] = []
-    for (spec, n, p), (chip, _, _), estimate in zip(meta, point_args, estimates):
+    for (spec, n, p), (chip, _, _), estimate, mname in zip(
+        meta, point_args, estimates, model_names
+    ):
         points.append(
             SurvivalPoint(
                 design=spec.name,
@@ -136,6 +188,7 @@ def survival_sweep(
                 p=p,
                 estimate=estimate,
                 effective=chip_effective_yield(chip, estimate),
+                model=mname,
             )
         )
     return points
@@ -188,6 +241,53 @@ def defect_count_sweep(
     return [
         DefectCountPoint(m=m, estimate=estimate)
         for m, estimate in zip(ms, estimates)
+    ]
+
+
+def defect_model_sweep(
+    chip: Biochip,
+    models: Sequence[DefectModel],
+    needed: Optional[Iterable[Hashable]] = None,
+    runs: int = DEFAULT_RUNS,
+    seed: int = 2005,
+    engine: Optional[SweepEngine] = None,
+    stop: Optional[StopRule] = None,
+) -> List[DefectModelPoint]:
+    """Yield of ``chip`` under each spatial defect model, one engine call.
+
+    The severity axis of the new scenario packs: every model in ``models``
+    (any mix of :mod:`repro.yieldsim.defects` instances) becomes one
+    engine point on the same chip, so the points share shard chunks, the
+    cache keys them by model digest, and ``stop`` rules apply per point
+    exactly as in the classic sweeps.
+
+    All points share one derived seed (common random numbers, the
+    :func:`defect_count_sweep` discipline).  For model families whose
+    sampling is monotone in severity at a common stream — ``FixedCount``
+    across m, ``IIDBernoulli``/``NegativeBinomialClustered`` across p,
+    ``SpotDefects`` sharing a ``rate_cap`` (see
+    :meth:`~repro.yieldsim.defects.SpotDefects.family`) — the shared seed
+    makes the fault sets nested and the yield curve monotone by
+    construction.  Unrelated models simply get independent-but-
+    reproducible estimates.
+    """
+    engine = engine or default_engine()
+    needed_t = tuple(sorted(set(needed))) if needed is not None else None
+    tasks = [
+        EnginePoint(
+            chip, PointSpec.from_model(model, runs, seed + 1), needed_t, stop
+        )
+        for model in models
+    ]
+    estimates = engine.run_points(tasks)
+    return [
+        DefectModelPoint(
+            model=model.name,
+            severity=model.severity,
+            estimate=estimate,
+            digest=model.digest(),
+        )
+        for model, estimate in zip(models, estimates)
     ]
 
 

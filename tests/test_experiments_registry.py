@@ -34,6 +34,9 @@ TINY_KNOBS = {
     "ablation-defects": {"n": 60, "expected_faults": (2.0,)},
     "ablation-hexsquare": {"side": 8},
     "targeting": {"n": 60, "targets": (0.50,), "ps": (0.99,)},
+    "fig7-clustered": {"n": 60, "ps": (0.92, 1.0)},
+    "fig9-clustered": {"ns": [60], "ps": (0.92, 1.0)},
+    "scenario-gradient": {"n": 60, "ps": (0.92, 0.99)},
 }
 
 
@@ -79,6 +82,9 @@ class TestRegistry:
             "ablation-defects",
             "ablation-hexsquare",
             "targeting",
+            "fig7-clustered",
+            "fig9-clustered",
+            "scenario-gradient",
         ]
 
     def test_alias_resolves(self):
