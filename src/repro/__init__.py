@@ -21,10 +21,94 @@ Quick start::
 
 See ``examples/`` for full walkthroughs and ``repro.experiments`` for the
 drivers that regenerate every table and figure of the paper.
+
+Stable programmatic surface (import from here, not from deep modules)::
+
+    import repro
+
+    repro.list_experiments()             # machine-readable registry
+    result = repro.run_experiment("fig9", runs=2000, seed=1)
+    engine = repro.get_engine(jobs=4, cache_dir=".cache")
+
+Deep paths keep working — ``repro.SweepEngine`` and friends resolve
+lazily — but the names exported in ``__all__`` are the compatibility
+contract; everything else may move between modules (as the engine split
+into scheduler/executors did, with deprecation shims).
 """
+
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "ReproError",
+    "SweepEngine",
+    "__version__",
+    "get_engine",
+    "list_experiments",
+    "run_experiment",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.registry import ExperimentResult
+    from repro.yieldsim.engine import SweepEngine
+
+
+def get_engine(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    shard_runs: Optional[int] = None,
+) -> "SweepEngine":
+    """A sweep engine with the standard execution knobs.
+
+    The facade over the scheduler/executor split: results are
+    bit-identical whatever ``jobs``/``shard_runs`` you pick, and
+    ``cache_dir`` makes repeated points free.
+    """
+    from repro.yieldsim.engine import SweepEngine
+
+    return SweepEngine(jobs=jobs, cache_dir=cache_dir, shard_runs=shard_runs)
+
+
+def run_experiment(name: str, **kwargs: object) -> "ExperimentResult":
+    """Run one registered experiment end to end.
+
+    ``name`` is any name or alias ``repro list`` shows; keyword arguments
+    are passed to :func:`repro.experiments.registry.execute` (``runs``,
+    ``seed``, ``engine``, ``options``, ``knobs``, ``stop``).
+    """
+    from repro.experiments import registry
+
+    return registry.execute(name, **kwargs)
+
+
+def list_experiments() -> dict:
+    """The machine-readable experiment registry.
+
+    The same payload ``repro list --json`` prints and ``repro serve``
+    answers ``GET /experiments`` with.
+    """
+    from repro.experiments import registry
+
+    return registry.listing()
+
+
+#: Deep names resolved lazily so ``import repro`` stays light (no numpy
+#: import at startup) while ``repro.SweepEngine`` keeps working.
+_LAZY = {
+    "SweepEngine": ("repro.yieldsim.engine", "SweepEngine"),
+}
+
+
+def __getattr__(name: str) -> object:
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

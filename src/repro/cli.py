@@ -17,6 +17,8 @@ Registering a new experiment (one ``@register`` decorator on its driver's
     python -m repro all --runs 2000 --out artifacts/
     python -m repro gallery --out designs.html
     python -m repro recommend --target-yield 0.95 --p 0.95 --n 100
+    python -m repro list --json                # machine-readable registry
+    python -m repro serve --port 8765 --jobs 4 # yield-as-a-service (HTTP)
 
 Every experiment honors ``--runs`` (Monte-Carlo budget; paper default
 10 000, scaled per experiment by its registered budget policy) and
@@ -54,7 +56,105 @@ from repro.viz.export import write_csv
 from repro.yieldsim.defects import ModelFamily, family_from_spec
 from repro.yieldsim.engine import SweepEngine
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "add_budget_options",
+    "add_engine_options",
+    "add_adaptive_options",
+    "add_model_options",
+    "add_render_options",
+]
+
+
+# --- shared option layers ----------------------------------------------------
+#
+# Every surface that runs experiments — the per-experiment subcommands,
+# `all`, `recommend`, `serve` — composes these groups instead of
+# redeclaring flags, so an engine option added here reaches the HTTP
+# server and the budget-only `recommend` for free.
+
+def add_budget_options(
+    p: argparse.ArgumentParser, *, runs_default: int = registry.DEFAULT_CLI_RUNS
+) -> None:
+    """--runs/--seed: the Monte-Carlo budget and RNG seed."""
+    p.add_argument(
+        "--runs", type=int, default=runs_default,
+        help=f"Monte-Carlo runs per point (default: {runs_default}; each "
+             "experiment scales this by its registered budget policy)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=registry.DEFAULT_SEED, help="RNG seed"
+    )
+
+
+def add_engine_options(p: argparse.ArgumentParser) -> None:
+    """--jobs/--cache/--shard-runs: how the sweep engine executes.
+
+    All three preserve bit-identity with serial execution."""
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for Monte-Carlo sweeps (results are "
+             "bit-identical to serial execution)",
+    )
+    p.add_argument(
+        "--shard-runs", type=int, default=None, metavar="N",
+        help="split any point bigger than N runs into N-run shards with "
+             "SeedSequence-spawned seeds and (with --jobs) spread them "
+             "across the worker pool",
+    )
+    p.add_argument(
+        "--cache", type=str, default=None, metavar="DIR",
+        help="on-disk sweep result cache directory (keyed by chip, "
+             "parameter, runs and seed; reruns cost nothing)",
+    )
+
+
+def add_adaptive_options(p: argparse.ArgumentParser) -> None:
+    """--adaptive/--target-ci: sequential stopping budgets."""
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive sequential budgets: each Monte-Carlo point stops "
+             "once its Wilson interval meets the experiment's registered "
+             "target half-width; --runs stays the flat ceiling",
+    )
+    p.add_argument(
+        "--target-ci", type=float, default=None, metavar="W",
+        help="adaptive stop target: halt a point once its 95%% Wilson "
+             "half-width is <= W (implies --adaptive, overrides the "
+             "registered target)",
+    )
+
+
+def add_model_options(p: argparse.ArgumentParser) -> None:
+    """--defect-model: spatial defect family for the survival sweeps."""
+    p.add_argument(
+        "--defect-model", type=str, default=None, metavar="NAME[:k=v,...]",
+        help="spatial defect model for the survival sweeps (fig9/fig10): "
+             "iid (default), spot[:radius=R], negbin[:alpha=A], "
+             "gradient[:spread=S,power=W]; severity stays matched to "
+             "the sweep's p axis.  Under `all`, applies to the "
+             "model-capable experiments and leaves the rest unchanged",
+    )
+
+
+def add_render_options(p: argparse.ArgumentParser) -> None:
+    """--csv/--chart/--mc-check/--out: what to emit besides the report."""
+    p.add_argument(
+        "--csv", type=str, default=None, help="export rows to a CSV file"
+    )
+    p.add_argument(
+        "--chart", action="store_true", help="print ASCII charts too"
+    )
+    p.add_argument(
+        "--mc-check", action="store_true",
+        help="(fig7) add the Monte-Carlo validation column",
+    )
+    p.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="write CSV/JSON/report/chart artifacts plus manifest.json "
+             "into this run directory",
+    )
 
 
 def _emit(text: str) -> None:
@@ -228,6 +328,14 @@ def _run_all(args: argparse.Namespace) -> int:
 def _run_list(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
 
+    if getattr(args, "json", False):
+        # The same machine-readable schema `repro serve` answers
+        # GET /experiments with — one schema, two transports.
+        import json
+
+        _emit(json.dumps(registry.listing(), indent=2))
+        return 0
+
     rows = []
     for experiment in registry.all_experiments():
         rows.append(
@@ -250,8 +358,29 @@ def _run_list(args: argparse.Namespace) -> int:
 
 def _run_show(args: argparse.Namespace) -> int:
     experiment = registry.get(args.experiment)
+    if getattr(args, "json", False):
+        import json
+
+        _emit(json.dumps(experiment.as_dict(), indent=2))
+        return 0
     _emit(experiment.describe())
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the CLI stays asyncio-free unless serving.
+    from repro.serve.app import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache or None,
+        shard_runs=args.shard_runs,
+        out_dir=args.out or None,
+        max_runs=args.max_runs,
+    )
+    return serve_forever(config)
 
 
 def _run_gallery(args: argparse.Namespace) -> int:
@@ -289,63 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--runs", type=int, default=10_000,
-            help="Monte-Carlo runs per point (paper default: 10000; each "
-                 "experiment scales this by its registered budget policy)",
-        )
-        p.add_argument("--seed", type=int, default=2005, help="RNG seed")
-        p.add_argument(
-            "--csv", type=str, default=None, help="export rows to a CSV file"
-        )
-        p.add_argument(
-            "--chart", action="store_true", help="print ASCII charts too"
-        )
-        p.add_argument(
-            "--mc-check", action="store_true",
-            help="(fig7) add the Monte-Carlo validation column",
-        )
-        p.add_argument(
-            "--jobs", type=int, default=1,
-            help="worker processes for Monte-Carlo sweeps (results are "
-                 "bit-identical to serial execution)",
-        )
-        p.add_argument(
-            "--adaptive", action="store_true",
-            help="adaptive sequential budgets: each Monte-Carlo point stops "
-                 "once its Wilson interval meets the experiment's registered "
-                 "target half-width; --runs stays the flat ceiling",
-        )
-        p.add_argument(
-            "--target-ci", type=float, default=None, metavar="W",
-            help="adaptive stop target: halt a point once its 95%% Wilson "
-                 "half-width is <= W (implies --adaptive, overrides the "
-                 "registered target)",
-        )
-        p.add_argument(
-            "--defect-model", type=str, default=None, metavar="NAME[:k=v,...]",
-            help="spatial defect model for the survival sweeps (fig9/fig10): "
-                 "iid (default), spot[:radius=R], negbin[:alpha=A], "
-                 "gradient[:spread=S,power=W]; severity stays matched to "
-                 "the sweep's p axis.  Under `all`, applies to the "
-                 "model-capable experiments and leaves the rest unchanged",
-        )
-        p.add_argument(
-            "--shard-runs", type=int, default=None, metavar="N",
-            help="split any point bigger than N runs into N-run shards with "
-                 "SeedSequence-spawned seeds and (with --jobs) spread them "
-                 "across the worker pool",
-        )
-        p.add_argument(
-            "--cache", type=str, default=None, metavar="DIR",
-            help="on-disk sweep result cache directory (keyed by chip, "
-                 "parameter, runs and seed; reruns cost nothing)",
-        )
-        p.add_argument(
-            "--out", type=str, default=None, metavar="DIR",
-            help="write CSV/JSON/report/chart artifacts plus manifest.json "
-                 "into this run directory",
-        )
+        add_budget_options(p)
+        add_render_options(p)
+        add_engine_options(p)
+        add_adaptive_options(p)
+        add_model_options(p)
 
     for experiment in registry.all_experiments():
         p = sub.add_parser(
@@ -361,11 +438,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_run_all)
 
     p = sub.add_parser("list", help="list the registered experiments")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable registry (the schema "
+             "`repro serve` answers GET /experiments with)",
+    )
     p.set_defaults(handler=_run_list)
 
     p = sub.add_parser("show", help="describe one registered experiment")
     p.add_argument("experiment", help="experiment name or alias")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the experiment descriptor as JSON (the schema "
+             "GET /experiments/{name} serves)",
+    )
     p.set_defaults(handler=_run_show)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve experiments and sweep points over HTTP "
+             "(digest-coalesced, artifact-backed)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--max-runs", type=int, default=1_000_000, metavar="N",
+        help="per-request Monte-Carlo ceiling (requests above it get a 400)",
+    )
+    serve.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="persist served experiment bundles into this artifact "
+             "run directory",
+    )
+    add_engine_options(serve)
+    serve.set_defaults(handler=_run_serve)
 
     gallery = sub.add_parser("gallery", help="write the HTML design gallery")
     gallery.add_argument("--out", default="designs.html")
@@ -378,8 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--target-yield", type=float, required=True)
     recommend.add_argument("--p", type=float, required=True)
     recommend.add_argument("--n", type=int, default=100)
-    recommend.add_argument("--runs", type=int, default=4000)
-    recommend.add_argument("--seed", type=int, default=2005)
+    add_budget_options(recommend, runs_default=4000)
     recommend.set_defaults(handler=_run_recommend)
 
     return parser

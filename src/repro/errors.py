@@ -25,6 +25,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ArtifactError",
+    "ServeError",
 ]
 
 
@@ -101,3 +102,12 @@ class ExperimentError(ReproError):
 
 class ArtifactError(ExperimentError):
     """An artifact run directory or manifest could not be written."""
+
+
+class ServeError(ExperimentError):
+    """A serving request was malformed or cannot be satisfied.
+
+    Raised by :mod:`repro.serve` for protocol violations (bad JSON, an
+    unknown design or experiment, an out-of-bounds budget); the HTTP
+    layer maps it to a 4xx response instead of a traceback.
+    """

@@ -48,7 +48,7 @@ from repro.errors import ArtifactError
 from repro.experiments.registry import ExperimentResult
 from repro.viz.export import write_csv, write_json
 
-__all__ = ["ArtifactRun", "MANIFEST_NAME", "MANIFEST_SCHEMA"]
+__all__ = ["ArtifactRun", "MANIFEST_NAME", "MANIFEST_SCHEMA", "bundle_payload"]
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_SCHEMA = 1
@@ -58,6 +58,27 @@ def _slug(text: str) -> str:
     """File-name-safe slug for chart labels (``n=60`` -> ``n-60``)."""
     slug = re.sub(r"[^A-Za-z0-9.]+", "-", text).strip("-")
     return slug or "chart"
+
+
+def bundle_payload(result: ExperimentResult) -> Dict[str, object]:
+    """One result as a machine-readable bundle (the serving response body).
+
+    Everything a remote consumer needs without filesystem access: the
+    table (for tabular experiments), the canonical report, and the full
+    provenance block whose ``digest`` equals the one a local
+    ``repro <name> --out`` run records in ``manifest.json`` — so a served
+    bundle can be verified against an artifact directory by digest alone.
+    """
+    return {
+        "experiment": result.name,
+        "title": result.experiment.title,
+        "paper_ref": result.experiment.paper_ref,
+        "headers": list(result.headers) if result.headers is not None else None,
+        "rows": [list(row) for row in result.rows] if result.rows is not None else None,
+        "report": result.canonical_report_text(),
+        "provenance": result.provenance.as_dict(),
+        "digest": result.provenance.digest,
+    }
 
 
 class ArtifactRun:

@@ -59,13 +59,23 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "Provenance",
+    "REGISTRY_SCHEMA",
     "register",
     "get",
     "all_experiments",
     "names",
     "execute",
     "result_digest",
+    "stop_rule_dict",
+    "listing",
 ]
+
+#: Version of the machine-readable registry schema emitted by
+#: :func:`listing` / :meth:`Experiment.as_dict` — shared verbatim by
+#: ``repro list --json``, ``repro show --json`` and the serving layer's
+#: ``GET /experiments``, so CLI consumers and HTTP clients parse one
+#: format.
+REGISTRY_SCHEMA = 1
 
 #: Paper default Monte-Carlo budget (runs per sweep point).
 DEFAULT_CLI_RUNS = 10_000
@@ -164,6 +174,20 @@ class BudgetPolicy:
         return text
 
 
+def stop_rule_dict(rule: Optional[StopRule]) -> Optional[Dict[str, object]]:
+    """The one JSON shape of a stop rule (provenance, schema, serving)."""
+    if rule is None:
+        return None
+    return {
+        "target_half_width": rule.target_half_width,
+        "min_runs": rule.min_runs,
+        "max_runs": rule.max_runs,
+        "batch_runs": rule.batch_runs,
+        "z": rule.z,
+        "digest": rule.digest(),
+    }
+
+
 # -- registration record ------------------------------------------------------
 
 ReportFn = Callable[[object, Mapping[str, object]], str]
@@ -211,6 +235,36 @@ class Experiment:
         if self.charts is None:
             return ()
         return tuple(self.charts(raw))
+
+    def as_dict(self) -> Dict[str, object]:
+        """The machine-readable descriptor (schema ``REGISTRY_SCHEMA``).
+
+        One schema for every consumer: ``repro list --json`` emits a list
+        of these, ``repro show NAME --json`` emits one, and the serving
+        layer returns them from ``GET /experiments``.
+        """
+        doc = (self.runner.__doc__ or "").strip().splitlines()
+        return {
+            "name": self.name,
+            "aliases": list(self.aliases),
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "order": self.order,
+            "tabular": self.tabular,
+            "charts": self.has_charts,
+            "model_knob": self.model_knob,
+            "driver": f"{self.runner.__module__}.run",
+            "doc": doc[0].strip() if doc else None,
+            "budget": {
+                "describe": self.budget.describe(),
+                "divisor": self.budget.divisor,
+                "floor": self.budget.floor,
+                "gate": self.budget.gate,
+                "deterministic": self.budget.deterministic,
+                "adaptive_capable": self.budget.adaptive_capable,
+                "stop_rule": stop_rule_dict(self.budget.stop_rule),
+            },
+        }
 
     def describe(self) -> str:
         """Detail block for ``repro show``."""
@@ -487,6 +541,19 @@ def names() -> List[str]:
     return [experiment.name for experiment in all_experiments()]
 
 
+def listing() -> Dict[str, object]:
+    """The full machine-readable registry, in paper order.
+
+    The payload behind ``repro list --json`` and the serving layer's
+    ``GET /experiments``; ``schema`` is bumped whenever the descriptor
+    shape changes.
+    """
+    return {
+        "schema": REGISTRY_SCHEMA,
+        "experiments": [experiment.as_dict() for experiment in all_experiments()],
+    }
+
+
 # -- generic dispatch ---------------------------------------------------------
 
 def execute(
@@ -563,18 +630,7 @@ def execute(
         cache_misses=track.cache_misses - misses0,
         wall_time_s=wall,
         digest=result_digest(headers, rows, report),
-        stop_rule=(
-            None
-            if rule is None
-            else {
-                "target_half_width": rule.target_half_width,
-                "min_runs": rule.min_runs,
-                "max_runs": rule.max_runs,
-                "batch_runs": rule.batch_runs,
-                "z": rule.z,
-                "digest": rule.digest(),
-            }
-        ),
+        stop_rule=stop_rule_dict(rule),
         mc_runs_requested=sum(point.requested for point in points),
         mc_runs_effective=sum(point.effective for point in points),
         mc_points=tuple(

@@ -1,0 +1,35 @@
+"""Yield-as-a-service: an asyncio HTTP layer over the sweep engine.
+
+``repro serve`` exposes the experiment registry and the point engine over
+HTTP, with three properties the library's architecture makes nearly free:
+
+* **Digest coalescing** — every point request reduces to the engine's
+  point-cache key (chip payload digest + regime + params + seed + stop
+  rule).  Identical in-flight requests join one computation before any
+  compute is scheduled, so a million users asking for the same fig9 point
+  cost exactly one engine call (:mod:`repro.serve.coalesce`).
+* **Streaming adaptive runs** — a point with an adaptive budget streams
+  per-fold progress as NDJSON, driven by the scheduler's in-order fold
+  hook, then ends with the exact result any offline run would produce.
+* **Artifact-store backing** — full-experiment responses are the same
+  bundles ``repro <name> --out`` writes, digest-verifiable against any
+  local artifact manifest, and optionally persisted through
+  :class:`~repro.experiments.artifacts.ArtifactRun`.
+
+Stdlib only: :mod:`asyncio` sockets plus a minimal HTTP/1.1 handler —
+no web framework, no new dependencies.
+"""
+
+from repro.serve.app import BackgroundServer, ReproServer, ServeConfig
+from repro.serve.coalesce import CoalescingMap
+from repro.serve.protocol import PROTOCOL_SCHEMA, BundleRequest, PointRequest
+
+__all__ = [
+    "BackgroundServer",
+    "BundleRequest",
+    "CoalescingMap",
+    "PointRequest",
+    "PROTOCOL_SCHEMA",
+    "ReproServer",
+    "ServeConfig",
+]

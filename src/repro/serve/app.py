@@ -1,0 +1,642 @@
+"""The ``repro serve`` asyncio HTTP application.
+
+Stdlib only: ``asyncio.start_server`` plus a deliberately minimal
+HTTP/1.1 handler (request line, headers, Content-Length body; one request
+per connection, ``Connection: close``).  Endpoints::
+
+    GET  /                      service info + endpoint index
+    GET  /health                liveness probe
+    GET  /experiments           machine-readable registry (repro list --json)
+    GET  /experiments/{name}    one experiment descriptor
+    POST /experiments/{name}    run a full experiment -> artifact bundle
+    POST /points                compute/fetch one sweep point
+    GET  /stats                 coalescing + engine cache/budget counters
+
+Request coalescing
+------------------
+A ``POST /points`` body resolves to an :class:`~repro.yieldsim.scheduler.
+EnginePoint` whose engine point-cache key is its content identity.  The
+:class:`~repro.serve.coalesce.CoalescingMap` single-flights concurrent
+identical requests on that key *before any compute is scheduled*: one
+leader computes (through the shared engine, so the on-disk point cache
+and all bit-identity guarantees apply), every concurrent duplicate awaits
+the same future.  Full-experiment requests coalesce the same way on a
+digest of their canonical parameters.
+
+Adaptive points with ``"stream": true`` respond as NDJSON: an ``accepted``
+line, one ``fold`` line per in-order batch fold (driven by the
+scheduler's fold hook), then a final ``result`` line identical to the
+non-streaming body.
+
+Compute runs on a worker thread (`asyncio.to_thread`) under a process-wide
+lock: the engine itself parallelizes across its executor, and the lock
+keeps the shared engine's accounting coherent.  The event loop stays free
+to accept, coalesce and stream while a computation is running.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.designs.catalog import ALL_DESIGNS
+from repro.designs.interstitial import build_with_primary_count
+from repro.errors import ExperimentError, ReproError, ServeError
+from repro.experiments import registry
+from repro.experiments.artifacts import ArtifactRun, bundle_payload
+from repro.serve.coalesce import CoalescingMap, InflightEntry
+from repro.serve.protocol import (
+    PROTOCOL_SCHEMA,
+    BundleRequest,
+    PointRequest,
+    error_payload,
+    experiment_listing,
+)
+from repro.yieldsim.defects import family_from_spec
+from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.kernel import PointSpec
+from repro.yieldsim.scheduler import EnginePoint, chip_payload, payload_digest
+from repro.yieldsim.stats import YieldEstimate, wilson_half_width
+
+__all__ = ["ServeConfig", "ReproServer", "BackgroundServer", "serve_forever"]
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server settings — the CLI's shared engine options plus HTTP knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    shard_runs: Optional[int] = None
+    #: artifact directory full-experiment bundles are persisted into
+    #: (None serves bundles without writing them)
+    out_dir: Optional[str] = None
+    #: hard per-request Monte-Carlo ceiling (a public server must bound
+    #: what one request can spend)
+    max_runs: int = 1_000_000
+    max_body_bytes: int = 1 << 20
+
+
+def _normalize_design(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+#: catalog lookup tolerant of CLI-ish spellings: "DTMB(2,6)", "dtmb-2-6",
+#: "dtmb26" all resolve to the same design.
+_DESIGNS_NORMALIZED = {_normalize_design(d.name): d for d in ALL_DESIGNS}
+
+
+class ReproServer:
+    """Routing + request handling over one shared engine.
+
+    ``engine`` is injectable so tests can count compute units with an
+    :class:`~repro.yieldsim.executors.InlineExecutor` or pre-warm a cache;
+    by default it is built from the config's engine options.
+    """
+
+    def __init__(self, config: ServeConfig, engine: Optional[SweepEngine] = None):
+        self.config = config
+        self.engine = engine if engine is not None else SweepEngine(
+            jobs=config.jobs,
+            cache_dir=config.cache_dir,
+            shard_runs=config.shard_runs,
+        )
+        #: serializes engine compute; the engine parallelizes internally
+        self._compute_lock = threading.Lock()
+        self.points = CoalescingMap()
+        self.bundles = CoalescingMap()
+        #: (normalized design, n) -> built chip, and payload digest -> chip
+        self._chips: Dict[Tuple[str, int], Tuple[Biochip, str]] = {}
+        self._chips_by_digest: Dict[str, Biochip] = {}
+        self.requests = 0
+        self.errors = 0
+
+    # -- request resolution ----------------------------------------------------
+    def _chip_for(self, request: PointRequest) -> Tuple[Biochip, str]:
+        """The (chip, payload digest) a point request addresses."""
+        if request.chip_digest is not None:
+            chip = self._chips_by_digest.get(request.chip_digest)
+            if chip is None:
+                raise ServeError(
+                    f"unknown chip_digest {request.chip_digest!r}: this "
+                    "server has not built that chip yet (address it by "
+                    "design + n first; every point response includes the "
+                    "digest)"
+                )
+            return chip, request.chip_digest
+        key = (_normalize_design(request.design), int(request.n))
+        built = self._chips.get(key)
+        if built is None:
+            spec = _DESIGNS_NORMALIZED.get(key[0])
+            if spec is None:
+                known = ", ".join(d.name for d in ALL_DESIGNS)
+                raise ServeError(
+                    f"unknown design {request.design!r}; catalog has: {known}"
+                )
+            chip = build_with_primary_count(spec, request.n).build()
+            digest = payload_digest(chip_payload(chip))
+            built = (chip, digest)
+            self._chips[key] = built
+            self._chips_by_digest[digest] = chip
+        return built
+
+    def _task_for(self, request: PointRequest) -> Tuple[EnginePoint, str]:
+        """Resolve a validated request into an engine task + chip digest."""
+        if request.runs > self.config.max_runs:
+            raise ServeError(
+                f"runs {request.runs} exceeds this server's ceiling "
+                f"({self.config.max_runs})"
+            )
+        chip, digest = self._chip_for(request)
+        if request.defect_model is not None:
+            family = family_from_spec(request.defect_model)
+            model = family(chip, request.param)
+            spec = PointSpec.from_model(
+                model, request.runs, request.seed, param=request.param
+            )
+        else:
+            spec = PointSpec(
+                request.kind, request.param, request.runs, request.seed
+            )
+        task = EnginePoint(chip, spec, None, request.stop_rule())
+        task.spec.validate(len(chip))
+        return task, digest
+
+    # -- compute (leader side) -------------------------------------------------
+    async def _lead_point(self, entry: InflightEntry, task: EnginePoint) -> None:
+        def on_fold(_index: int, successes: int, trials: int) -> None:
+            entry.publish_threadsafe(
+                {
+                    "event": "fold",
+                    "successes": successes,
+                    "trials": trials,
+                    "value": successes / trials,
+                    "half_width": wilson_half_width(successes, trials),
+                }
+            )
+
+        def work() -> YieldEstimate:
+            with self._compute_lock:
+                return self.engine.run_points([task], on_fold=on_fold)[0]
+
+        try:
+            estimate = await asyncio.to_thread(work)
+        except BaseException as exc:  # noqa: BLE001 - leader must settle the future
+            self.points.fail(entry, exc)
+        else:
+            self.points.resolve(entry, estimate)
+
+    async def _lead_bundle(self, entry: InflightEntry, request: BundleRequest) -> None:
+        def work() -> Dict[str, object]:
+            experiment = registry.get(request.experiment)
+            model = (
+                family_from_spec(request.defect_model)
+                if request.defect_model is not None
+                else None
+            )
+            if model is not None and not experiment.model_knob:
+                raise ServeError(
+                    f"{experiment.name} does not accept defect_model "
+                    "(its fault regime is part of the experiment definition)"
+                )
+            with self._compute_lock:
+                result = registry.execute(
+                    experiment,
+                    runs=request.runs,
+                    seed=request.seed,
+                    engine=self.engine,
+                    options={
+                        "adaptive": bool(request.adaptive or request.target_ci),
+                        "target_ci": request.target_ci,
+                    },
+                    knobs={"model": model} if model is not None else None,
+                )
+            payload = bundle_payload(result)
+            payload["schema"] = PROTOCOL_SCHEMA
+            payload["artifacts"] = None
+            if self.config.out_dir is not None:
+                run = ArtifactRun(
+                    self.config.out_dir,
+                    runs=request.runs,
+                    seed=request.seed,
+                    jobs=self.engine.jobs,
+                    cache_dir=self.engine.cache_dir,
+                )
+                files = run.add(result)["files"]
+                run.finalize()
+                payload["artifacts"] = {"dir": self.config.out_dir, "files": files}
+            return payload
+
+        try:
+            payload = await asyncio.to_thread(work)
+        except BaseException as exc:  # noqa: BLE001 - leader must settle the future
+            self.bundles.fail(entry, exc)
+        else:
+            self.bundles.resolve(entry, payload)
+
+    # -- endpoint bodies -------------------------------------------------------
+    def _point_payload(
+        self,
+        request: PointRequest,
+        key: str,
+        chip_digest: str,
+        task: EnginePoint,
+        estimate: YieldEstimate,
+        coalesced: bool,
+    ) -> Dict[str, object]:
+        lo, hi = estimate.interval
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "key": key,
+            "chip_digest": chip_digest,
+            "design": request.design,
+            "n": request.n,
+            "kind": request.kind,
+            "param": request.param,
+            "seed": request.seed,
+            "defect_model": request.defect_model,
+            "adaptive": task.stop is not None,
+            "runs_requested": task.spec.runs,
+            "successes": estimate.successes,
+            "trials": estimate.trials,
+            "value": estimate.value,
+            "lo": lo,
+            "hi": hi,
+            "coalesced": coalesced,
+        }
+
+    def stats_payload(self) -> Dict[str, object]:
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "requests": self.requests,
+            "errors": self.errors,
+            "points": {
+                "computed": self.points.leaders,
+                "coalesced": self.points.followers,
+                "inflight": len(self.points),
+            },
+            "bundles": {
+                "computed": self.bundles.leaders,
+                "coalesced": self.bundles.followers,
+                "inflight": len(self.bundles),
+            },
+            "engine": {
+                "jobs": self.engine.jobs,
+                "cache_dir": self.engine.cache_dir,
+                "cache_hits": self.engine.cache_hits,
+                "cache_misses": self.engine.cache_misses,
+                "runs_requested": self.engine.runs_requested,
+                "runs_effective": self.engine.runs_effective,
+            },
+        }
+
+    def _info_payload(self) -> Dict[str, object]:
+        import repro
+
+        return {
+            "service": "repro-serve",
+            "version": repro.__version__,
+            "schema": PROTOCOL_SCHEMA,
+            "endpoints": [
+                "GET /experiments",
+                "GET /experiments/{name}",
+                "POST /experiments/{name}",
+                "POST /points",
+                "GET /stats",
+                "GET /health",
+            ],
+        }
+
+    # -- HTTP plumbing ---------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._handle(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                # close() without wait_closed(): every response drains
+                # before we get here, and lingering in wait_closed keeps
+                # handler tasks alive into shutdown cancellation.
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            await self._send_json(writer, 400, {"error": "BadRequest",
+                                                "message": "malformed request line"})
+            return
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > self.config.max_body_bytes:
+            await self._send_json(
+                writer, 413,
+                {"error": "PayloadTooLarge",
+                 "message": f"body exceeds {self.config.max_body_bytes} bytes"},
+            )
+            return
+        body = await reader.readexactly(length) if length else b""
+
+        self.requests += 1
+        path = target.partition("?")[0]
+        try:
+            await self._route(method.upper(), path, body, writer)
+        except ServeError as exc:
+            self.errors += 1
+            await self._send_json(writer, 400, error_payload(exc))
+        except ExperimentError as exc:
+            # the one lookup-shaped error: unknown experiment name
+            self.errors += 1
+            await self._send_json(writer, 404, error_payload(exc))
+        except ReproError as exc:
+            self.errors += 1
+            await self._send_json(writer, 400, error_payload(exc))
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - a server answers, never crashes
+            self.errors += 1
+            await self._send_json(writer, 500, error_payload(exc))
+
+    async def _route(
+        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        if path == "/points":
+            if method != "POST":
+                await self._send_json(
+                    writer, 405,
+                    {"error": "MethodNotAllowed", "message": "POST /points"},
+                )
+                return
+            await self._handle_point(body, writer)
+            return
+        if path == "/experiments" or path == "/experiments/":
+            if method != "GET":
+                await self._send_json(
+                    writer, 405,
+                    {"error": "MethodNotAllowed", "message": "GET /experiments"},
+                )
+                return
+            await self._send_json(writer, 200, experiment_listing())
+            return
+        if path.startswith("/experiments/"):
+            name = path[len("/experiments/"):]
+            if method == "GET":
+                await self._send_json(writer, 200, registry.get(name).as_dict())
+            elif method == "POST":
+                await self._handle_bundle(name, body, writer)
+            else:
+                await self._send_json(
+                    writer, 405,
+                    {"error": "MethodNotAllowed",
+                     "message": "GET or POST /experiments/{name}"},
+                )
+            return
+        if path == "/stats" and method == "GET":
+            await self._send_json(writer, 200, self.stats_payload())
+            return
+        if path == "/health" and method == "GET":
+            await self._send_json(writer, 200, {"status": "ok"})
+            return
+        if path == "/" and method == "GET":
+            await self._send_json(writer, 200, self._info_payload())
+            return
+        await self._send_json(
+            writer, 404, {"error": "NotFound", "message": f"no route {method} {path}"}
+        )
+
+    async def _handle_point(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        request = PointRequest.from_dict(_parse_json(body))
+        task, chip_digest = self._task_for(request)
+        key = self.engine.point_key(task)
+        entry, leader = self.points.join(key)
+        queue = entry.subscribe() if request.stream else None
+        if leader:
+            asyncio.ensure_future(self._lead_point(entry, task))
+
+        if queue is None:
+            estimate = await asyncio.shield(entry.future)
+            await self._send_json(
+                writer, 200,
+                self._point_payload(request, key, chip_digest, task, estimate,
+                                    coalesced=not leader),
+            )
+            return
+
+        # NDJSON stream: accepted, folds (adaptive/sharded points), result.
+        await self._send_stream_head(writer)
+        await self._send_line(
+            writer,
+            {"event": "accepted", "key": key, "chip_digest": chip_digest,
+             "coalesced": not leader},
+        )
+        while True:
+            event = await queue.get()
+            if event is None:
+                break
+            await self._send_line(writer, event)
+        estimate = await asyncio.shield(entry.future)
+        await self._send_line(
+            writer,
+            {"event": "result",
+             **self._point_payload(request, key, chip_digest, task, estimate,
+                                   coalesced=not leader)},
+        )
+
+    async def _handle_bundle(
+        self, name: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        experiment = registry.get(name)  # unknown name -> ExperimentError -> 404
+        request = BundleRequest.from_dict(experiment.name, _parse_json(body))
+        if request.runs > self.config.max_runs:
+            raise ServeError(
+                f"runs {request.runs} exceeds this server's ceiling "
+                f"({self.config.max_runs})"
+            )
+        blob = json.dumps(request.identity(), sort_keys=True, separators=(",", ":"))
+        key = hashlib.sha256(blob.encode("ascii")).hexdigest()
+        entry, leader = self.bundles.join(key)
+        if leader:
+            asyncio.ensure_future(self._lead_bundle(entry, request))
+        payload = dict(await asyncio.shield(entry.future))
+        payload["coalesced"] = not leader
+        await self._send_json(writer, 200, payload)
+
+    # -- response helpers ------------------------------------------------------
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, object]
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8") + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _send_stream_head(self, writer: asyncio.StreamWriter) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+
+    async def _send_line(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, object]
+    ) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+def _parse_json(body: bytes) -> Dict[str, object]:
+    if not body:
+        return {}
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ServeError("request body must be a JSON object")
+    return data
+
+
+# -- runners -------------------------------------------------------------------
+
+async def _serve(
+    server: ReproServer,
+    ready=None,
+    stop_event: Optional[asyncio.Event] = None,
+) -> None:
+    tcp = await asyncio.start_server(
+        server.handle_connection, server.config.host, server.config.port
+    )
+    port = tcp.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(port)
+    async with tcp:
+        if stop_event is None:
+            await tcp.serve_forever()
+        else:
+            # Graceful variant for BackgroundServer: returning normally
+            # lets asyncio.run() tear the loop down without cancelling
+            # in-flight handler tasks mid-await.
+            await stop_event.wait()
+
+
+def serve_forever(config: ServeConfig, engine: Optional[SweepEngine] = None) -> int:
+    """Run the server until interrupted (the ``repro serve`` entry point)."""
+    import sys
+
+    server = ReproServer(config, engine=engine)
+
+    def ready(port: int) -> None:
+        print(
+            f"repro serve: listening on http://{config.host}:{port} "
+            f"(jobs={config.jobs}, cache={config.cache_dir or '-'}, "
+            f"out={config.out_dir or '-'})",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(_serve(server, ready))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+class BackgroundServer:
+    """The server on a daemon thread with its own event loop.
+
+    For tests and the CI smoke driver::
+
+        with BackgroundServer(ServeConfig(port=0)) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+
+    ``port=0`` binds an ephemeral port; :attr:`port` is the bound one.
+    """
+
+    def __init__(self, config: ServeConfig, engine: Optional[SweepEngine] = None):
+        self.server = ReproServer(config, engine=engine)
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._failure: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServeError("server did not come up within 30s")
+        if self._failure is not None:
+            raise ServeError(f"server failed to start: {self._failure}")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+
+            def ready(port: int) -> None:
+                self.port = port
+                self._ready.set()
+
+            await _serve(self.server, ready, stop_event=self._stop_event)
+
+        try:
+            asyncio.run(main())
+        except asyncio.CancelledError:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()/stop()
+            self._failure = exc
+            self._ready.set()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,8 +1,29 @@
-"""Parallel sweep execution engine: screen -> match, sharded, cached.
+"""Sweep execution facade: a pure scheduler wired to a pluggable executor.
 
 This module turns the per-point Monte-Carlo work of the yield sweeps
 (Figures 7, 9, 10, 13 and Table 1's companions) into independent,
 shardable units and runs them through the vectorized screening kernel.
+Since the scheduler/executor split it is a thin facade over two layers:
+
+* :mod:`repro.yieldsim.scheduler` — the pure
+  :class:`~repro.yieldsim.scheduler.PointScheduler`: chip payload
+  canonicalization, point-cache key derivation and the on-disk
+  :class:`~repro.yieldsim.scheduler.PointCache`, flat-point chunking,
+  within-point shard plans, and the strict in-order fold with stop-rule
+  speculation for adaptive points.
+* :mod:`repro.yieldsim.executors` — *where* compute units run: the
+  :class:`~repro.yieldsim.executors.Executor` protocol with
+  :class:`~repro.yieldsim.executors.SerialExecutor` (in-process),
+  :class:`~repro.yieldsim.executors.PoolExecutor`
+  (``ProcessPoolExecutor``-backed) and
+  :class:`~repro.yieldsim.executors.InlineExecutor` (deterministic
+  in-process speculation, for tests).
+
+:class:`SweepEngine` keeps the historical user-facing API —
+``SweepEngine(jobs=..., cache_dir=..., shard_runs=...)`` — plus run
+accounting (budget log, cache traffic, screen stats) and convenience
+estimators.  Pass ``executor=`` to pin a specific backend; otherwise
+``jobs`` picks the serial or pool backend exactly as before.
 
 The screen->match funnel
 ------------------------
@@ -24,21 +45,10 @@ ever reads another point's stream, so:
 
 * a sweep is exactly reproducible from its base seed;
 * any single point can be recomputed in isolation;
-* serial (``jobs=1``) and parallel (``jobs>1``) execution are
-  **bit-identical** — sharding only changes *where* a point is computed,
-  never what it computes.
-
-Parallelism and caching
------------------------
-``jobs > 1`` shards points across a ``ProcessPoolExecutor``; chips travel
-to workers as compact payload dicts and each worker memoizes the derived
-:class:`~repro.yieldsim.kernel.RepairStructure` by chip digest.  An
-optional on-disk cache stores one small JSON file per point, keyed by a
-SHA-256 digest of (chip cells, needed set, regime, parameter, runs, seed,
-dtype, engine version — plus the batch size and stop-rule digest for
-batched points), so repeated sweeps — e.g. re-rendering a figure at the
-paper budget — cost nothing, and a flat-budget entry can never be served
-to an adaptive request.
+* serial, process-pool and inline execution are **bit-identical** — the
+  executor only changes *where* a unit is computed and how far the
+  scheduler speculates, never what anything computes (results fold in a
+  fixed order regardless; see :mod:`repro.yieldsim.scheduler`).
 
 Within-point sharding and adaptive budgets
 ------------------------------------------
@@ -49,14 +59,13 @@ corner at 10^6+ runs — split across the workers).  A batched point's
 stream is defined by its batch plan alone: batch ``k`` draws from
 ``SeedSequence(seed, spawn_key=(k,))`` (the ``SeedSequence.spawn``
 derivation, constructible per shard in isolation), so the point's result
-is a pure function of (spec, rule/batch size) — *where* the batches run
-(in-process, or sharded across the pool) can never change a number.
-Under a stop rule, batches are folded strictly in batch order and the
-rule is checked after each fold; parallel execution merely speculates on
-later batches and discards them past the stop point, so the effective
-budget is deterministic given the seed.  An adaptive point that never
-meets its target spends exactly its full plan — bit-identical to the
-fixed-budget batched run of the same point.
+is a pure function of (spec, rule/batch size).  Under a stop rule,
+batches are folded strictly in batch order and the rule is checked after
+each fold; a multi-capacity executor merely speculates on later batches
+and discards them past the stop point, so the effective budget is
+deterministic given the seed.  An adaptive point that never meets its
+target spends exactly its full plan — bit-identical to the fixed-budget
+batched run of the same point.
 
 Flat, unsharded points (the default) keep the legacy single-stream draw
 and remain bit-identical to the pre-engine implementation.
@@ -64,30 +73,23 @@ and remain bit-identical to the pre-engine implementation.
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.chip.biochip import Biochip
-from repro.chip.cell import Cell, CellRole
 from repro.errors import SimulationError
-from repro.geometry.hex import Hex
-from repro.geometry.square import Square
-from repro.yieldsim.kernel import (
-    PointSpec,
-    RepairStructure,
-    ScreenStats,
-    model_successes,
-    point_entropy,
-    point_model,
-    shard_plan,
-    shard_seed,
-    simulate_points,
+from repro.yieldsim.executors import Executor, default_executor
+from repro.yieldsim.kernel import PointSpec, ScreenStats
+from repro.yieldsim.scheduler import (
+    ENGINE_VERSION,
+    EnginePoint,
+    PointCache,
+    PointScheduler,
+    chip_payload,
+    payload_digest,
 )
 from repro.yieldsim.stats import StopRule, YieldEstimate
 
@@ -95,150 +97,45 @@ __all__ = [
     "SweepEngine",
     "EnginePoint",
     "PointRecord",
+    "ENGINE_VERSION",
     "chip_payload",
     "payload_digest",
 ]
 
-#: Bump when the kernel/sampling semantics change, to invalidate caches.
-ENGINE_VERSION = 1
-
-#: Maximum points per shard: small enough to load-balance a grid across
-#: workers, large enough to amortize per-chunk pickling.
-_CHUNK_POINTS = 4
-
-
-# -- chip payloads ------------------------------------------------------------
-
-def chip_payload(
-    chip: Biochip, needed: Optional[Iterable[Hashable]] = None
-) -> Dict[str, object]:
-    """A minimal, canonical, picklable description of a simulation target.
-
-    Only what the repairability question depends on is included — cell
-    coordinates, roles and the needed set.  Health, labels and the chip
-    name are deliberately excluded so cosmetic differences cannot split
-    the cache.
-    """
-    kind = None
-    cells: List[Tuple[int, int, int]] = []
-    for cell in chip:
-        coord = cell.coord
-        if isinstance(coord, Hex):
-            k, a, b = "hex", coord.q, coord.r
-        elif isinstance(coord, Square):
-            k, a, b = "square", coord.x, coord.y
-        else:
-            raise SimulationError(
-                f"cannot serialize coordinate of type {type(coord).__name__}"
-            )
-        if kind is None:
-            kind = k
-        elif kind != k:
-            raise SimulationError("chip mixes coordinate systems")
-        cells.append((a, b, 1 if cell.is_spare else 0))
-    payload: Dict[str, object] = {"coords": kind, "cells": cells}
-    if needed is not None:
-        needed_pairs = []
-        for coord in sorted(set(needed)):
-            if isinstance(coord, (Hex, Square)):
-                needed_pairs.append(
-                    (coord.q, coord.r) if isinstance(coord, Hex) else (coord.x, coord.y)
-                )
-            else:
-                raise SimulationError(
-                    f"cannot serialize needed coordinate {coord!r}"
-                )
-        payload["needed"] = needed_pairs
-    return payload
+#: Deprecation shim: names that used to live (or would be guessed to
+#: live) in this module resolve to their new homes with a warning, so
+#: pre-split deep imports keep working while callers migrate to
+#: :mod:`repro.yieldsim.scheduler` / :mod:`repro.yieldsim.executors` (or
+#: the top-level :mod:`repro` API).
+#: Names that moved out in the scheduler/executor split and are *not*
+#: part of this facade's own working set (those — Executor,
+#: default_executor, PointCache, PointScheduler — remain importable here
+#: as ordinary attributes).  Deep imports of these resolve with a
+#: DeprecationWarning pointing at the new home.
+_MOVED = {
+    "SerialExecutor": ("repro.yieldsim.executors", "SerialExecutor"),
+    "InlineExecutor": ("repro.yieldsim.executors", "InlineExecutor"),
+    "PoolExecutor": ("repro.yieldsim.executors", "PoolExecutor"),
+    "_compute_batch": ("repro.yieldsim.scheduler", "compute_chunk"),
+    "_compute_shard": ("repro.yieldsim.scheduler", "compute_shard"),
+    "_structure_from_payload": ("repro.yieldsim.scheduler", "structure_from_payload"),
+}
 
 
-def payload_digest(payload: Dict[str, object]) -> str:
-    """Stable SHA-256 digest of a chip payload."""
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=list)
-    return hashlib.sha256(blob.encode("ascii")).hexdigest()
-
-
-def _structure_from_payload(payload: Dict[str, object]) -> RepairStructure:
-    """Rebuild the chip from its payload and derive the repair structure."""
-    kind = payload["coords"]
-    make = Hex if kind == "hex" else Square
-    cells = [
-        Cell(make(a, b), CellRole.SPARE if spare else CellRole.PRIMARY)
-        for a, b, spare in payload["cells"]
-    ]
-    chip = Biochip(cells, name="engine-target")
-    needed = payload.get("needed")
-    if needed is not None:
-        needed = [make(a, b) for a, b in needed]
-    return RepairStructure(chip, needed=needed)
-
-
-# -- worker-side execution ----------------------------------------------------
-
-#: Per-process memo of chip digest -> RepairStructure, so a sweep that
-#: shards many points of one chip builds the structure once per worker.
-_STRUCTURES: Dict[str, RepairStructure] = {}
-
-
-def _structure_for(digest: str, payload: Dict[str, object]) -> RepairStructure:
-    struct = _STRUCTURES.get(digest)
-    if struct is None:
-        struct = _structure_from_payload(payload)
-        _STRUCTURES[digest] = struct
-    return struct
-
-
-def _compute_batch(
-    digest: str,
-    payload: Dict[str, object],
-    points: Sequence[PointSpec],
-    dtype_name: str,
-) -> Tuple[List[int], Dict[str, int]]:
-    """Compute one shard of points (runs in the worker process)."""
-    struct = _structure_for(digest, payload)
-    successes, stats = simulate_points(struct, points, dtype=np.dtype(dtype_name).type)
-    return successes, stats.as_dict()
-
-
-def _compute_shard(
-    digest: str,
-    payload: Dict[str, object],
-    spec: PointSpec,
-    size: int,
-    entropy: int,
-    index: int,
-    dtype_name: str,
-) -> Tuple[int, Dict[str, int]]:
-    """Compute one within-point shard (runs in the worker process).
-
-    The shard's stream is fully determined by ``(entropy, index)`` via
-    :func:`~repro.yieldsim.kernel.shard_seed`, so any worker — or the
-    calling process — computes the identical batch.  The point's defect
-    model (explicit, or the legacy-kind alias) travels inside ``spec``.
-    """
-    struct = _structure_for(digest, payload)
-    rng = np.random.default_rng(shard_seed(entropy, index))
-    got, stats = model_successes(
-        struct, point_model(spec), size, seed=rng, dtype=np.dtype(dtype_name).type
+def __getattr__(name: str):
+    moved = _MOVED.get(name)
+    if moved is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr = moved
+    warnings.warn(
+        f"importing {name!r} from repro.yieldsim.engine is deprecated; "
+        f"use {module_name}.{attr}",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return got, stats.as_dict()
+    import importlib
 
-
-# -- the engine ---------------------------------------------------------------
-
-@dataclass(frozen=True)
-class EnginePoint:
-    """One sweep point: a chip, an optional needed set, and a PointSpec.
-
-    ``stop`` attaches an adaptive sequential budget: the point runs in
-    batches of ``stop.batch_runs`` and halts once its Wilson interval is
-    as narrow as the rule demands, with ``spec.runs`` as the flat ceiling.
-    """
-
-    chip: Biochip
-    spec: PointSpec
-    needed: Optional[Tuple[Hashable, ...]] = None
-    stop: Optional[StopRule] = None
+    return getattr(importlib.import_module(module_name), attr)
 
 
 @dataclass(frozen=True)
@@ -279,7 +176,7 @@ class SweepEngine:
     jobs:
         Worker processes.  ``1`` (default) runs in-process; results are
         bit-identical either way (see the module docstring's seed
-        contract).
+        contract).  Ignored when ``executor`` is given.
     cache_dir:
         Directory for the on-disk point cache; ``None`` disables caching.
         Created on first use.  Safe to share between serial and parallel
@@ -294,11 +191,18 @@ class SweepEngine:
     shard_runs:
         Within-point sharding threshold *and* batch size: any point whose
         budget exceeds this many runs is split into ``shard_runs``-sized
-        batches with per-shard ``SeedSequence.spawn`` seeds and (with
-        ``jobs > 1``) computed across the worker pool.  ``None`` (default)
-        never shards within a point.  Sharded results are bit-identical
-        whether the batches run serially or in parallel, but use the
-        spawned batch streams rather than the legacy single stream.
+        batches with per-shard ``SeedSequence.spawn`` seeds and computed
+        across the executor's capacity.  ``None`` (default) never shards
+        within a point.  Sharded results are bit-identical whatever the
+        executor, but use the spawned batch streams rather than the
+        legacy single stream.
+    executor:
+        An explicit :class:`~repro.yieldsim.executors.Executor` backend.
+        ``None`` (default) derives one from ``jobs`` per run —
+        :class:`~repro.yieldsim.executors.SerialExecutor` for ``jobs=1``,
+        :class:`~repro.yieldsim.executors.PoolExecutor` otherwise.  Pass
+        an :class:`~repro.yieldsim.executors.InlineExecutor` to count
+        compute units deterministically in tests.
     """
 
     def __init__(
@@ -308,23 +212,19 @@ class SweepEngine:
         progress: Optional[Callable[[int, int], None]] = None,
         dtype: type = np.float32,
         shard_runs: Optional[int] = None,
+        executor: Optional[Executor] = None,
     ):
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
-        if cache_dir is not None and os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
-            raise SimulationError(
-                f"cache path {cache_dir!r} exists and is not a directory"
-            )
-        if shard_runs is not None and shard_runs < 1:
-            raise SimulationError(f"shard_runs must be >= 1, got {shard_runs}")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.progress = progress
         self.dtype = dtype
         self.shard_runs = shard_runs
-        #: cumulative cache counters (for tests and reports)
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.executor = executor
+        #: the pure scheduling core (key derivation, cache, fold order)
+        self.cache = PointCache(cache_dir, np.dtype(dtype).name)
+        self.scheduler = PointScheduler(self.cache, dtype=dtype, shard_runs=shard_runs)
         #: merged screen statistics of everything this engine computed
         self.screen_stats = ScreenStats()
         #: cumulative requested/effective budget totals across run_points calls
@@ -333,113 +233,33 @@ class SweepEngine:
         #: per-point budget accounting, appended in task order by run_points
         self.point_log: List[PointRecord] = []
 
-    # -- execution modes -------------------------------------------------------
-    def _task_batch(self, task: EnginePoint) -> Optional[int]:
-        """Batch size for batched (sharded/adaptive) execution, else None."""
-        if task.stop is not None:
-            return task.stop.batch_runs
-        if self.shard_runs is not None and task.spec.runs > self.shard_runs:
-            return self.shard_runs
-        return None
+    # -- cache counters (facade over PointCache, for tests and reports) --------
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
 
-    # -- cache ----------------------------------------------------------------
-    def _point_key(
-        self,
-        digest: str,
-        spec: PointSpec,
-        stop: Optional[StopRule] = None,
-        batch: Optional[int] = None,
-    ) -> str:
-        ident: Dict[str, object] = {
-            "chip": digest,
-            "kind": spec.kind,
-            "param": spec.param,
-            "runs": spec.runs,
-            "seed": spec.seed,
-            "dtype": np.dtype(self.dtype).name,
-            "version": ENGINE_VERSION,
-        }
-        if spec.model is not None:
-            # The model's content digest keys the distribution: two models
-            # at equal severity (or a model point and a legacy point at
-            # the same p) can never collide in the cache.
-            ident["defect_model"] = spec.model.digest()
-        if batch is not None:
-            # Batched points live under a distinct key family: the batch
-            # size defines the RNG stream and the stop-rule digest defines
-            # the effective budget, so a flat-budget entry is never served
-            # to an adaptive request (or vice versa).
-            ident["mode"] = "batched"
-            ident["batch"] = batch
-            ident["stop"] = stop.digest() if stop is not None else None
-        blob = json.dumps(ident, sort_keys=True)
-        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
 
-    def _cache_path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.json")
+    # -- request identity ------------------------------------------------------
+    def point_key(self, task: EnginePoint) -> str:
+        """The point-cache key of one task — its request identity.
 
-    def _cache_load(
-        self, key: str, spec: PointSpec, batched: bool = False
-    ) -> Optional[Tuple[int, int]]:
-        """Cached ``(successes, effective trials)`` for a point, if valid."""
-        if self.cache_dir is None:
-            return None
-        if batched and spec.seed is None:
-            # A seedless batched point has fresh entropy every time; a
-            # cache entry for it would be a false hit.
-            return None
-        try:
-            with open(self._cache_path(key), "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-            successes = data["successes"]
-            trials = data["trials"]
-            if batched:
-                if data["requested"] != spec.runs or not 0 <= successes <= trials <= spec.runs:
-                    return None
-            elif trials != spec.runs or not 0 <= successes <= spec.runs:
-                return None
-            return int(successes), int(trials)
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
-
-    def _cache_store(
-        self,
-        key: str,
-        spec: PointSpec,
-        successes: int,
-        trials: int,
-        batched: bool = False,
-        stop: Optional[StopRule] = None,
-    ) -> None:
-        if self.cache_dir is None or (batched and spec.seed is None):
-            return
-        entry: Dict[str, object] = {
-            "successes": successes,
-            "trials": trials,
-            "kind": spec.kind,
-            "param": spec.param,
-            "seed": spec.seed,
-            "version": ENGINE_VERSION,
-        }
-        if batched:
-            entry["requested"] = spec.runs
-            entry["stop"] = stop.digest() if stop is not None else None
-        os.makedirs(self.cache_dir, exist_ok=True)
-        path = self._cache_path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        Two tasks with equal keys compute the identical result, whatever
+        engine or executor runs them; the serving layer coalesces
+        concurrent identical requests by this string before any compute
+        is scheduled.
+        """
+        return self.scheduler.key_for(task)
 
     # -- execution -------------------------------------------------------------
-    def run_points(self, tasks: Sequence[EnginePoint]) -> List[YieldEstimate]:
-        """Estimates for ``tasks``, in order; shards across jobs if > 1.
+    def run_points(
+        self,
+        tasks: Sequence[EnginePoint],
+        on_fold: Optional[Callable[[int, int, int], None]] = None,
+    ) -> List[YieldEstimate]:
+        """Estimates for ``tasks``, in order; shards across the executor.
 
         Flat points run through the legacy chunked path (bit-identical to
         the pre-engine implementation); points with a stop rule or beyond
@@ -447,130 +267,21 @@ class SweepEngine:
         docstring).  Each estimate's ``trials`` is the point's *effective*
         budget — equal to ``spec.runs`` for flat points, possibly smaller
         for adaptive ones — and :attr:`point_log` records the
-        requested-vs-effective pair for every task.
+        requested-vs-effective pair for every task.  ``on_fold(i,
+        successes, trials)`` observes every in-order fold of a batched
+        point (cumulative values), which is what ``repro serve`` streams
+        as per-fold NDJSON progress.
         """
-        n = len(tasks)
-        results: List[Optional[Tuple[int, int]]] = [None] * n
-
-        # Canonical payload/digest per distinct chip object (and needed set).
-        seen: Dict[Tuple[int, Optional[Tuple[Hashable, ...]]], str] = {}
-        payload_by_digest: Dict[str, Dict[str, object]] = {}
-        digests: List[str] = []
-        for task in tasks:
-            marker = (id(task.chip), task.needed)
-            digest = seen.get(marker)
-            if digest is None:
-                payload = chip_payload(task.chip, task.needed)
-                digest = payload_digest(payload)
-                seen[marker] = digest
-                payload_by_digest[digest] = payload
-            digests.append(digest)
-
-        # Cache pass.
-        batch_of = [self._task_batch(task) for task in tasks]
-        keys = [
-            self._point_key(digests[i], task.spec, stop=task.stop, batch=batch_of[i])
-            for i, task in enumerate(tasks)
-        ]
-        pending: List[int] = []
-        pending_batched: List[int] = []
-        done = 0
-        for i, task in enumerate(tasks):
-            task.spec.validate(len(task.chip))
-            cached = self._cache_load(keys[i], task.spec, batched=batch_of[i] is not None)
-            if cached is not None:
-                results[i] = cached
-                self.cache_hits += 1
-                done += 1
-            else:
-                (pending if batch_of[i] is None else pending_batched).append(i)
-                if self.cache_dir is not None:
-                    self.cache_misses += 1
-        if done and self.progress is not None:
-            self.progress(done, n)
-
-        # Group flat pending points into per-chip chunks (the shard unit).
-        # The grouping depends only on the task list, never on jobs, so
-        # serial and parallel runs compute identical chunks.
-        chunks: List[Tuple[str, List[int]]] = []
-        current_digest: Optional[str] = None
-        for i in pending:
-            if digests[i] != current_digest or len(chunks[-1][1]) >= _CHUNK_POINTS:
-                chunks.append((digests[i], []))
-                current_digest = digests[i]
-            chunks[-1][1].append(i)
-
-        def record(chunk_indices: List[int], successes: List[int], stats: Dict[str, int]) -> None:
-            nonlocal done
-            for idx, got in zip(chunk_indices, successes):
-                results[idx] = (got, tasks[idx].spec.runs)
-                self._cache_store(keys[idx], tasks[idx].spec, got, tasks[idx].spec.runs)
-            self.screen_stats.merge(ScreenStats.from_dict(stats))
-            done += len(chunk_indices)
-            if self.progress is not None:
-                self.progress(done, n)
-
-        dtype_name = np.dtype(self.dtype).name
-        plans = {
-            i: shard_plan(
-                tasks[i].stop.cap(tasks[i].spec.runs) if tasks[i].stop else tasks[i].spec.runs,
-                batch_of[i],
-            )
-            for i in pending_batched
-        }
-        shard_units = sum(len(plan) for plan in plans.values())
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            if self.jobs > 1 and (len(chunks) > 1 or shard_units > 1):
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.jobs, max(len(chunks), shard_units))
-                )
-
-            if pool is None or len(chunks) <= 1:
-                for digest, idxs in chunks:
-                    successes, stats = _compute_batch(
-                        digest, payload_by_digest[digest],
-                        [tasks[i].spec for i in idxs], dtype_name,
-                    )
-                    record(idxs, successes, stats)
-            else:
-                futures = {
-                    pool.submit(
-                        _compute_batch, digest, payload_by_digest[digest],
-                        [tasks[i].spec for i in idxs], dtype_name,
-                    ): idxs
-                    for digest, idxs in chunks
-                }
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for fut in finished:
-                        successes, stats = fut.result()
-                        record(futures[fut], successes, stats)
-
-            def on_point(i: int, got: int, trials: int) -> None:
-                nonlocal done
-                results[i] = (got, trials)
-                self._cache_store(
-                    keys[i], tasks[i].spec, got, trials,
-                    batched=True, stop=tasks[i].stop,
-                )
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, n)
-
-            if pending_batched:
-                self._run_batched_points(
-                    tasks, pending_batched, plans, digests, payload_by_digest,
-                    pool, on_point,
-                )
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
-
+        executor = self.executor if self.executor is not None else default_executor(self.jobs)
+        raw = self.scheduler.run(
+            tasks,
+            executor,
+            progress=self.progress,
+            on_fold=on_fold,
+            stats=self.screen_stats,
+        )
         estimates: List[YieldEstimate] = []
-        for i, task in enumerate(tasks):
-            got, trials = results[i]
+        for task, (got, trials) in zip(tasks, raw):
             self.runs_requested += task.spec.runs
             self.runs_effective += trials
             self.point_log.append(
@@ -588,110 +299,6 @@ class SweepEngine:
             )
             estimates.append(YieldEstimate(successes=got, trials=trials))
         return estimates
-
-    def _run_batched_points(
-        self,
-        tasks: Sequence[EnginePoint],
-        indices: Sequence[int],
-        plans: Dict[int, Tuple[int, ...]],
-        digests: Sequence[str],
-        payload_by_digest: Dict[str, Dict[str, object]],
-        pool: Optional[ProcessPoolExecutor],
-        on_point: Callable[[int, int, int], None],
-    ) -> None:
-        """Run the batched points; calls ``on_point(i, successes, trials)``
-        as each completes.
-
-        Each point's batches are folded strictly in batch order and its
-        stop rule (if any) is checked after each fold, so every point's
-        result — successes *and* effective budget — is identical whether
-        its batches run here or speculatively across the pool.  The pool
-        schedule interleaves batches of *different* points (point-major
-        order), so an adaptive sweep keeps every worker busy instead of
-        draining one point at a time; batches that complete beyond a stop
-        point are discarded, keeping numbers and screen stats equal to
-        the serial fold.
-        """
-        dtype_name = np.dtype(self.dtype).name
-        entropies = {i: point_entropy(tasks[i].spec.seed) for i in indices}
-
-        if pool is None:
-            for i in indices:
-                spec, rule = tasks[i].spec, tasks[i].stop
-                successes = 0
-                trials = 0
-                for k, size in enumerate(plans[i]):
-                    got, stats = _compute_shard(
-                        digests[i], payload_by_digest[digests[i]],
-                        spec, size, entropies[i], k, dtype_name,
-                    )
-                    self.screen_stats.merge(ScreenStats.from_dict(stats))
-                    successes += got
-                    trials += size
-                    if rule is not None and rule.should_stop(successes, trials):
-                        break
-                on_point(i, successes, trials)
-            return
-
-        # Per-point fold state; a point is live until it stops or folds
-        # its whole plan.
-        next_fold = {i: 0 for i in indices}
-        successes = {i: 0 for i in indices}
-        trials = {i: 0 for i in indices}
-        complete: set = set()
-
-        def unit_stream():
-            for i in indices:
-                for k in range(len(plans[i])):
-                    yield i, k
-
-        units = unit_stream()
-        futures: Dict[Tuple[int, int], object] = {}
-        ready: Dict[Tuple[int, int], Tuple[int, Dict[str, int]]] = {}
-
-        def submit_up_to_jobs() -> None:
-            while len(futures) < self.jobs:
-                for i, k in units:
-                    if i in complete:
-                        continue  # point already decided; skip its tail
-                    spec = tasks[i].spec
-                    futures[(i, k)] = pool.submit(
-                        _compute_shard, digests[i], payload_by_digest[digests[i]],
-                        spec, plans[i][k],
-                        entropies[i], k, dtype_name,
-                    )
-                    break
-                else:
-                    return  # no units left to submit
-
-        while len(complete) < len(indices):
-            submit_up_to_jobs()
-            finished, _ = wait(set(futures.values()), return_when=FIRST_COMPLETED)
-            for unit in [u for u, fut in list(futures.items()) if fut in finished]:
-                ready[unit] = futures.pop(unit).result()
-            for i in indices:
-                if i in complete:
-                    continue
-                rule = tasks[i].stop
-                while (i, next_fold[i]) in ready and i not in complete:
-                    got, stats = ready.pop((i, next_fold[i]))
-                    self.screen_stats.merge(ScreenStats.from_dict(stats))
-                    successes[i] += got
-                    trials[i] += plans[i][next_fold[i]]
-                    next_fold[i] += 1
-                    stopped = rule is not None and rule.should_stop(
-                        successes[i], trials[i]
-                    )
-                    if stopped or next_fold[i] == len(plans[i]):
-                        complete.add(i)
-                        on_point(i, successes[i], trials[i])
-            # Drop speculative results (and cancel queued batches) of
-            # points that have since completed.
-            for unit in [u for u in ready if u[0] in complete]:
-                del ready[unit]
-            for unit in [u for u, fut in list(futures.items()) if u[0] in complete]:
-                futures[unit].cancel()
-                del futures[unit]
 
     # -- conveniences ----------------------------------------------------------
     def survival_estimates(

@@ -1,0 +1,225 @@
+"""Pluggable execution backends for the sweep scheduler.
+
+The :class:`~repro.yieldsim.scheduler.PointScheduler` decides *what* to
+compute (cache keys, chunking, shard plans, fold order, stop-rule
+speculation); an :class:`Executor` decides *where* each compute unit runs.
+The scheduler drives every backend through the same four-call protocol —
+``start``/``submit``/``wait_any``/``shutdown`` — and folds results in a
+fixed order, so the engine's bit-identity contract (serial == parallel ==
+sharded) holds for any backend by construction: an executor can change
+wall-clock time and speculation, never a number.
+
+Backends
+--------
+:class:`SerialExecutor`
+    Runs every unit inline at ``submit`` time, one at a time.  The
+    scheduler degenerates to a strict in-order fold — the reference
+    semantics every other backend must reproduce.
+:class:`PoolExecutor`
+    ``concurrent.futures.ProcessPoolExecutor``-backed.  The pool is
+    created lazily at ``start`` (and only when there is more than one
+    unit to run), sized ``min(jobs, units)``; with one unit it behaves
+    exactly like :class:`SerialExecutor`.
+:class:`InlineExecutor`
+    A test double: immediate in-process execution like
+    :class:`SerialExecutor`, but with a configurable ``capacity`` so the
+    scheduler exercises its speculative submit/discard logic
+    deterministically without processes, and with cumulative
+    ``submitted``/``completed``/``cancelled`` counters so tests can
+    assert exactly how many compute units a request cost.
+
+Executors are reusable: ``start``/``shutdown`` bracket one scheduler run,
+and a fresh run may follow (``PoolExecutor`` spawns a fresh pool each
+time; the inline backends keep their counters across runs).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Optional, Protocol, Set, runtime_checkable
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Executor",
+    "UnitFuture",
+    "ImmediateFuture",
+    "SerialExecutor",
+    "InlineExecutor",
+    "PoolExecutor",
+    "default_executor",
+]
+
+
+@runtime_checkable
+class UnitFuture(Protocol):
+    """What the scheduler needs from a submitted compute unit."""
+
+    def result(self) -> Any: ...
+
+    def cancel(self) -> bool: ...
+
+    def done(self) -> bool: ...
+
+
+class ImmediateFuture:
+    """A unit future whose work already ran at ``submit`` time."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: Any):
+        self._result = result
+
+    def result(self) -> Any:
+        return self._result
+
+    def cancel(self) -> bool:
+        return False
+
+    def done(self) -> bool:
+        return True
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Where the scheduler's compute units run.
+
+    ``capacity`` is the number of units worth keeping in flight: the
+    scheduler submits up to ``capacity`` units before waiting, which is
+    also how far it speculates past a possible adaptive stop point.
+    """
+
+    name: str
+
+    @property
+    def capacity(self) -> int: ...
+
+    def start(self, units_hint: int) -> None:
+        """Begin one scheduler run expected to hold ``units_hint`` units."""
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> UnitFuture: ...
+
+    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+        """Block until at least one of ``futures`` is done; return those."""
+
+    def shutdown(self) -> None:
+        """End the current run, releasing any workers."""
+
+
+class SerialExecutor:
+    """Immediate in-process execution, one unit at a time."""
+
+    name = "serial"
+
+    @property
+    def capacity(self) -> int:
+        return 1
+
+    def start(self, units_hint: int) -> None:
+        pass
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> ImmediateFuture:
+        return ImmediateFuture(fn(*args))
+
+    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+        return set(futures)
+
+    def shutdown(self) -> None:
+        pass
+
+
+class InlineExecutor:
+    """In-process execution with pool-like speculation, for tests.
+
+    With ``capacity=1`` this is :class:`SerialExecutor` plus counters;
+    with ``capacity>1`` the scheduler speculates exactly as it would over
+    a process pool — submitting (and computing) units past a potential
+    stop point, then discarding them — but deterministically and in one
+    process, so the speculative path is testable without workers.
+    """
+
+    name = "inline"
+
+    def __init__(self, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        #: cumulative units actually computed via submit()
+        self.submitted = 0
+        #: cumulative results consumed by the scheduler
+        self.completed = 0
+        #: cumulative cancel() calls (speculative units discarded unqueued)
+        self.cancelled = 0
+        #: start()/shutdown() brackets, for lifecycle tests
+        self.runs_started = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def start(self, units_hint: int) -> None:
+        self.runs_started += 1
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> ImmediateFuture:
+        self.submitted += 1
+        return ImmediateFuture(fn(*args))
+
+    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+        done = set(futures)
+        self.completed += len(done)
+        return done
+
+    def shutdown(self) -> None:
+        pass
+
+
+class PoolExecutor:
+    """``ProcessPoolExecutor``-backed execution across worker processes.
+
+    The pool is created per run at :meth:`start`, and only when the run
+    holds more than one unit — a single-unit run (or ``jobs=1``) executes
+    inline, exactly like :class:`SerialExecutor`, so tiny requests never
+    pay process spin-up.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def capacity(self) -> int:
+        return self.jobs if self._pool is not None else 1
+
+    def start(self, units_hint: int) -> None:
+        if self.jobs > 1 and units_hint > 1:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, units_hint)
+            )
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> UnitFuture:
+        if self._pool is None:
+            return ImmediateFuture(fn(*args))
+        return self._pool.submit(fn, *args)
+
+    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+        done = {fut for fut in futures if isinstance(fut, ImmediateFuture)}
+        if done:
+            return done
+        finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+        return set(finished)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def default_executor(jobs: int = 1) -> Executor:
+    """The backend ``SweepEngine(jobs=...)`` historically implies."""
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    return SerialExecutor() if jobs == 1 else PoolExecutor(jobs)

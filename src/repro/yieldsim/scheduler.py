@@ -1,0 +1,623 @@
+"""Pure point scheduling: keys, cache, chunking, fold order, speculation.
+
+This module is the scheduling half of the engine split.  It owns
+everything that determines *what* a sweep computes and in *what order*
+results fold together — chip payload canonicalization and digests,
+point-cache key derivation and the on-disk :class:`PointCache`, flat-point
+chunk grouping, within-point shard plans, and the strict in-order fold
+with stop-rule speculation for adaptive points.  It owns nothing about
+*where* compute units run: that is the
+:class:`~repro.yieldsim.executors.Executor` passed into
+:meth:`PointScheduler.run`.
+
+The decomposition is what makes the engine's bit-identity contract
+auditable: every number is produced by a fold whose order depends only on
+the task list, and the executor can only reorder *completion*, never
+*folding*.  Serial, process-pool and inline execution are therefore
+bit-identical by construction, and the scheduler is the single place cache
+keys are derived — which is also what lets the serving layer
+(:mod:`repro.serve`) coalesce identical in-flight requests by the very key
+the cache would use.
+
+:class:`~repro.yieldsim.engine.SweepEngine` remains the user-facing
+facade: it wires a scheduler to an executor and keeps the run accounting
+(budget log, screen stats, estimates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.chip.biochip import Biochip
+from repro.chip.cell import Cell, CellRole
+from repro.errors import SimulationError
+from repro.geometry.hex import Hex
+from repro.geometry.square import Square
+from repro.yieldsim.executors import Executor, UnitFuture
+from repro.yieldsim.kernel import (
+    PointSpec,
+    RepairStructure,
+    ScreenStats,
+    model_successes,
+    point_entropy,
+    point_model,
+    shard_plan,
+    shard_seed,
+    simulate_points,
+)
+from repro.yieldsim.stats import StopRule
+
+__all__ = [
+    "ENGINE_VERSION",
+    "EnginePoint",
+    "PointCache",
+    "PointScheduler",
+    "chip_payload",
+    "payload_digest",
+]
+
+#: Bump when the kernel/sampling semantics change, to invalidate caches.
+ENGINE_VERSION = 1
+
+#: Maximum points per shard: small enough to load-balance a grid across
+#: workers, large enough to amortize per-chunk pickling.
+_CHUNK_POINTS = 4
+
+#: Callback invoked after each in-order fold of a batched point:
+#: ``on_fold(task_index, successes, trials)`` with cumulative values.
+FoldHook = Callable[[int, int, int], None]
+
+
+# -- chip payloads ------------------------------------------------------------
+
+def chip_payload(
+    chip: Biochip, needed: Optional[Iterable[Hashable]] = None
+) -> Dict[str, object]:
+    """A minimal, canonical, picklable description of a simulation target.
+
+    Only what the repairability question depends on is included — cell
+    coordinates, roles and the needed set.  Health, labels and the chip
+    name are deliberately excluded so cosmetic differences cannot split
+    the cache.
+    """
+    kind = None
+    cells: List[Tuple[int, int, int]] = []
+    for cell in chip:
+        coord = cell.coord
+        if isinstance(coord, Hex):
+            k, a, b = "hex", coord.q, coord.r
+        elif isinstance(coord, Square):
+            k, a, b = "square", coord.x, coord.y
+        else:
+            raise SimulationError(
+                f"cannot serialize coordinate of type {type(coord).__name__}"
+            )
+        if kind is None:
+            kind = k
+        elif kind != k:
+            raise SimulationError("chip mixes coordinate systems")
+        cells.append((a, b, 1 if cell.is_spare else 0))
+    payload: Dict[str, object] = {"coords": kind, "cells": cells}
+    if needed is not None:
+        needed_pairs = []
+        for coord in sorted(set(needed)):
+            if isinstance(coord, (Hex, Square)):
+                needed_pairs.append(
+                    (coord.q, coord.r) if isinstance(coord, Hex) else (coord.x, coord.y)
+                )
+            else:
+                raise SimulationError(
+                    f"cannot serialize needed coordinate {coord!r}"
+                )
+        payload["needed"] = needed_pairs
+    return payload
+
+
+def payload_digest(payload: Dict[str, object]) -> str:
+    """Stable SHA-256 digest of a chip payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=list)
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def structure_from_payload(payload: Dict[str, object]) -> RepairStructure:
+    """Rebuild the chip from its payload and derive the repair structure."""
+    kind = payload["coords"]
+    make = Hex if kind == "hex" else Square
+    cells = [
+        Cell(make(a, b), CellRole.SPARE if spare else CellRole.PRIMARY)
+        for a, b, spare in payload["cells"]
+    ]
+    chip = Biochip(cells, name="engine-target")
+    needed = payload.get("needed")
+    if needed is not None:
+        needed = [make(a, b) for a, b in needed]
+    return RepairStructure(chip, needed=needed)
+
+
+# -- worker-side execution ----------------------------------------------------
+
+#: Per-process memo of chip digest -> RepairStructure, so a sweep that
+#: shards many points of one chip builds the structure once per worker.
+_STRUCTURES: Dict[str, RepairStructure] = {}
+
+
+def _structure_for(digest: str, payload: Dict[str, object]) -> RepairStructure:
+    struct = _STRUCTURES.get(digest)
+    if struct is None:
+        struct = structure_from_payload(payload)
+        _STRUCTURES[digest] = struct
+    return struct
+
+
+def compute_chunk(
+    digest: str,
+    payload: Dict[str, object],
+    points: Sequence[PointSpec],
+    dtype_name: str,
+) -> Tuple[List[int], Dict[str, int]]:
+    """Compute one chunk of flat points (the executor's unit function)."""
+    struct = _structure_for(digest, payload)
+    successes, stats = simulate_points(struct, points, dtype=np.dtype(dtype_name).type)
+    return successes, stats.as_dict()
+
+
+def compute_shard(
+    digest: str,
+    payload: Dict[str, object],
+    spec: PointSpec,
+    size: int,
+    entropy: int,
+    index: int,
+    dtype_name: str,
+) -> Tuple[int, Dict[str, int]]:
+    """Compute one within-point shard (the executor's unit function).
+
+    The shard's stream is fully determined by ``(entropy, index)`` via
+    :func:`~repro.yieldsim.kernel.shard_seed`, so any worker — or the
+    calling process — computes the identical batch.  The point's defect
+    model (explicit, or the legacy-kind alias) travels inside ``spec``.
+    """
+    struct = _structure_for(digest, payload)
+    rng = np.random.default_rng(shard_seed(entropy, index))
+    got, stats = model_successes(
+        struct, point_model(spec), size, seed=rng, dtype=np.dtype(dtype_name).type
+    )
+    return got, stats.as_dict()
+
+
+# -- scheduling inputs --------------------------------------------------------
+
+@dataclass(frozen=True)
+class EnginePoint:
+    """One sweep point: a chip, an optional needed set, and a PointSpec.
+
+    ``stop`` attaches an adaptive sequential budget: the point runs in
+    batches of ``stop.batch_runs`` and halts once its Wilson interval is
+    as narrow as the rule demands, with ``spec.runs`` as the flat ceiling.
+    """
+
+    chip: Biochip
+    spec: PointSpec
+    needed: Optional[Tuple[Hashable, ...]] = None
+    stop: Optional[StopRule] = None
+
+
+# -- the on-disk point cache --------------------------------------------------
+
+class PointCache:
+    """Content-addressed on-disk store of computed points.
+
+    One small JSON file per point, keyed by a SHA-256 digest of
+    (chip payload digest, regime, parameter, runs, seed, dtype, engine
+    version — plus the defect-model digest for explicit-model points, and
+    the batch size and stop-rule digest for batched points).  The key is
+    the request/response identity of a point: the serving layer coalesces
+    concurrent identical requests by exactly this string.
+
+    ``dir=None`` disables storage but keeps key derivation available;
+    hits/misses counters then stay zero, matching the engine's historical
+    accounting (misses are only counted when a cache is actually on).
+    """
+
+    def __init__(self, cache_dir: Optional[str], dtype_name: str,
+                 version: int = ENGINE_VERSION):
+        if cache_dir is not None and os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+            raise SimulationError(
+                f"cache path {cache_dir!r} exists and is not a directory"
+            )
+        self.dir = cache_dir
+        self.dtype_name = dtype_name
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------------
+    def key(
+        self,
+        digest: str,
+        spec: PointSpec,
+        stop: Optional[StopRule] = None,
+        batch: Optional[int] = None,
+    ) -> str:
+        ident: Dict[str, object] = {
+            "chip": digest,
+            "kind": spec.kind,
+            "param": spec.param,
+            "runs": spec.runs,
+            "seed": spec.seed,
+            "dtype": self.dtype_name,
+            "version": self.version,
+        }
+        if spec.model is not None:
+            # The model's content digest keys the distribution: two models
+            # at equal severity (or a model point and a legacy point at
+            # the same p) can never collide in the cache.
+            ident["defect_model"] = spec.model.digest()
+        if batch is not None:
+            # Batched points live under a distinct key family: the batch
+            # size defines the RNG stream and the stop-rule digest defines
+            # the effective budget, so a flat-budget entry is never served
+            # to an adaptive request (or vice versa).
+            ident["mode"] = "batched"
+            ident["batch"] = batch
+            ident["stop"] = stop.digest() if stop is not None else None
+        blob = json.dumps(ident, sort_keys=True)
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.dir, f"{key}.json")
+
+    # -- storage --------------------------------------------------------------
+    def load(
+        self, key: str, spec: PointSpec, batched: bool = False
+    ) -> Optional[Tuple[int, int]]:
+        """Cached ``(successes, effective trials)`` for a point, if valid.
+
+        A non-hit counts as a miss (the point will have to be computed);
+        with no cache directory nothing is counted at all.
+        """
+        if self.dir is None:
+            return None
+        entry = self._read(key, spec, batched)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def _read(
+        self, key: str, spec: PointSpec, batched: bool
+    ) -> Optional[Tuple[int, int]]:
+        if batched and spec.seed is None:
+            # A seedless batched point has fresh entropy every time; a
+            # cache entry for it would be a false hit.
+            return None
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            successes = data["successes"]
+            trials = data["trials"]
+            if batched:
+                if data["requested"] != spec.runs or not 0 <= successes <= trials <= spec.runs:
+                    return None
+            elif trials != spec.runs or not 0 <= successes <= spec.runs:
+                return None
+            return int(successes), int(trials)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(
+        self,
+        key: str,
+        spec: PointSpec,
+        successes: int,
+        trials: int,
+        batched: bool = False,
+        stop: Optional[StopRule] = None,
+    ) -> None:
+        if self.dir is None or (batched and spec.seed is None):
+            return
+        entry: Dict[str, object] = {
+            "successes": successes,
+            "trials": trials,
+            "kind": spec.kind,
+            "param": spec.param,
+            "seed": spec.seed,
+            "version": self.version,
+        }
+        if batched:
+            entry["requested"] = spec.runs
+            entry["stop"] = stop.digest() if stop is not None else None
+        os.makedirs(self.dir, exist_ok=True)
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# -- the scheduler ------------------------------------------------------------
+
+class PointScheduler:
+    """Turns a task list into ordered, cached, executor-agnostic results.
+
+    The scheduler is pure in the sense that its outputs — per-point
+    ``(successes, effective trials)`` pairs — are a function of the task
+    list alone.  The executor passed to :meth:`run` decides only where
+    compute units execute and how far the scheduler may speculate past an
+    adaptive stop point; folds always happen in batch order, so every
+    backend produces identical numbers and identical effective budgets.
+    """
+
+    def __init__(
+        self,
+        cache: PointCache,
+        dtype: type = np.float32,
+        shard_runs: Optional[int] = None,
+    ):
+        if shard_runs is not None and shard_runs < 1:
+            raise SimulationError(f"shard_runs must be >= 1, got {shard_runs}")
+        self.cache = cache
+        self.dtype = dtype
+        self.shard_runs = shard_runs
+
+    # -- key derivation --------------------------------------------------------
+    def task_batch(self, task: EnginePoint) -> Optional[int]:
+        """Batch size for batched (sharded/adaptive) execution, else None."""
+        if task.stop is not None:
+            return task.stop.batch_runs
+        if self.shard_runs is not None and task.spec.runs > self.shard_runs:
+            return self.shard_runs
+        return None
+
+    def key_for(self, task: EnginePoint) -> str:
+        """The point-cache key (request identity) of one task."""
+        payload = chip_payload(task.chip, task.needed)
+        return self.cache.key(
+            payload_digest(payload), task.spec,
+            stop=task.stop, batch=self.task_batch(task),
+        )
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[EnginePoint],
+        executor: Executor,
+        *,
+        progress: Optional[Callable[[int, int], None]] = None,
+        on_fold: Optional[FoldHook] = None,
+        stats: Optional[ScreenStats] = None,
+    ) -> List[Tuple[int, int]]:
+        """``(successes, effective trials)`` for every task, in order.
+
+        Flat points run as per-chip chunks; points with a stop rule or
+        beyond ``shard_runs`` run as per-batch units folded strictly in
+        order with the stop rule checked after each fold.  ``on_fold``
+        (if given) observes each in-order fold of a batched point —
+        cumulative successes/trials — which is what the serving layer
+        streams as NDJSON progress.  Screen statistics of folded units
+        are merged into ``stats``.
+        """
+        n = len(tasks)
+        results: List[Optional[Tuple[int, int]]] = [None] * n
+        stats = stats if stats is not None else ScreenStats()
+
+        # Canonical payload/digest per distinct chip object (and needed set).
+        seen: Dict[Tuple[int, Optional[Tuple[Hashable, ...]]], str] = {}
+        payload_by_digest: Dict[str, Dict[str, object]] = {}
+        digests: List[str] = []
+        for task in tasks:
+            marker = (id(task.chip), task.needed)
+            digest = seen.get(marker)
+            if digest is None:
+                payload = chip_payload(task.chip, task.needed)
+                digest = payload_digest(payload)
+                seen[marker] = digest
+                payload_by_digest[digest] = payload
+            digests.append(digest)
+
+        # Cache pass.
+        batch_of = [self.task_batch(task) for task in tasks]
+        keys = [
+            self.cache.key(digests[i], task.spec, stop=task.stop, batch=batch_of[i])
+            for i, task in enumerate(tasks)
+        ]
+        pending: List[int] = []
+        pending_batched: List[int] = []
+        done = 0
+        for i, task in enumerate(tasks):
+            task.spec.validate(len(task.chip))
+            cached = self.cache.load(keys[i], task.spec, batched=batch_of[i] is not None)
+            if cached is not None:
+                results[i] = cached
+                done += 1
+            else:
+                (pending if batch_of[i] is None else pending_batched).append(i)
+        if done and progress is not None:
+            progress(done, n)
+
+        # Group flat pending points into per-chip chunks (the shard unit).
+        # The grouping depends only on the task list, never on the
+        # executor, so every backend computes identical chunks.
+        chunks: List[Tuple[str, List[int]]] = []
+        current_digest: Optional[str] = None
+        for i in pending:
+            if digests[i] != current_digest or len(chunks[-1][1]) >= _CHUNK_POINTS:
+                chunks.append((digests[i], []))
+                current_digest = digests[i]
+            chunks[-1][1].append(i)
+
+        def record(chunk_indices: List[int], successes: List[int],
+                   chunk_stats: Dict[str, int]) -> None:
+            nonlocal done
+            for idx, got in zip(chunk_indices, successes):
+                results[idx] = (got, tasks[idx].spec.runs)
+                self.cache.store(keys[idx], tasks[idx].spec, got, tasks[idx].spec.runs)
+            stats.merge(ScreenStats.from_dict(chunk_stats))
+            done += len(chunk_indices)
+            if progress is not None:
+                progress(done, n)
+
+        dtype_name = np.dtype(self.dtype).name
+        plans = {
+            i: shard_plan(
+                tasks[i].stop.cap(tasks[i].spec.runs) if tasks[i].stop else tasks[i].spec.runs,
+                batch_of[i],
+            )
+            for i in pending_batched
+        }
+        shard_units = sum(len(plan) for plan in plans.values())
+        executor.start(max(len(chunks), shard_units))
+        try:
+            # Flat chunks: submit up to capacity, fold results as they
+            # complete.  With a capacity-1 immediate executor this is the
+            # historical strict chunk-order serial loop.
+            queue = deque(chunks)
+            inflight: Dict[UnitFuture, List[int]] = {}
+            while queue or inflight:
+                while queue and len(inflight) < executor.capacity:
+                    digest, idxs = queue.popleft()
+                    fut = executor.submit(
+                        compute_chunk, digest, payload_by_digest[digest],
+                        [tasks[i].spec for i in idxs], dtype_name,
+                    )
+                    inflight[fut] = idxs
+                if not inflight:
+                    break
+                for fut in executor.wait_any(set(inflight)):
+                    successes, chunk_stats = fut.result()
+                    record(inflight.pop(fut), successes, chunk_stats)
+
+            def on_point(i: int, got: int, trials: int) -> None:
+                nonlocal done
+                results[i] = (got, trials)
+                self.cache.store(
+                    keys[i], tasks[i].spec, got, trials,
+                    batched=True, stop=tasks[i].stop,
+                )
+                done += 1
+                if progress is not None:
+                    progress(done, n)
+
+            if pending_batched:
+                self._run_batched(
+                    tasks, pending_batched, plans, digests, payload_by_digest,
+                    executor, on_point, on_fold, stats,
+                )
+        finally:
+            executor.shutdown()
+
+        return [pair for pair in results]  # type: ignore[misc]
+
+    def _run_batched(
+        self,
+        tasks: Sequence[EnginePoint],
+        indices: Sequence[int],
+        plans: Dict[int, Tuple[int, ...]],
+        digests: Sequence[str],
+        payload_by_digest: Dict[str, Dict[str, object]],
+        executor: Executor,
+        on_point: Callable[[int, int, int], None],
+        on_fold: Optional[FoldHook],
+        stats: ScreenStats,
+    ) -> None:
+        """Run the batched points; calls ``on_point(i, successes, trials)``
+        as each completes.
+
+        Each point's batches are folded strictly in batch order and its
+        stop rule (if any) is checked after each fold, so every point's
+        result — successes *and* effective budget — is identical whatever
+        the executor.  The submit schedule interleaves batches of
+        *different* points (point-major order), so an adaptive sweep keeps
+        every worker busy instead of draining one point at a time; batches
+        that complete beyond a stop point are discarded, keeping numbers
+        and screen stats equal to the capacity-1 fold.  With a capacity-1
+        immediate executor no speculation happens at all: each batch is
+        computed, folded and stop-checked before the next is submitted.
+        """
+        dtype_name = np.dtype(self.dtype).name
+        entropies = {i: point_entropy(tasks[i].spec.seed) for i in indices}
+
+        # Per-point fold state; a point is live until it stops or folds
+        # its whole plan.
+        next_fold = {i: 0 for i in indices}
+        successes = {i: 0 for i in indices}
+        trials = {i: 0 for i in indices}
+        complete: set = set()
+
+        def unit_stream():
+            for i in indices:
+                for k in range(len(plans[i])):
+                    yield i, k
+
+        units = unit_stream()
+        futures: Dict[Tuple[int, int], UnitFuture] = {}
+        ready: Dict[Tuple[int, int], Tuple[int, Dict[str, int]]] = {}
+
+        def submit_up_to_capacity() -> None:
+            while len(futures) < executor.capacity:
+                for i, k in units:
+                    if i in complete:
+                        continue  # point already decided; skip its tail
+                    spec = tasks[i].spec
+                    futures[(i, k)] = executor.submit(
+                        compute_shard, digests[i], payload_by_digest[digests[i]],
+                        spec, plans[i][k],
+                        entropies[i], k, dtype_name,
+                    )
+                    break
+                else:
+                    return  # no units left to submit
+
+        while len(complete) < len(indices):
+            submit_up_to_capacity()
+            finished = executor.wait_any(set(futures.values()))
+            for unit in [u for u, fut in list(futures.items()) if fut in finished]:
+                ready[unit] = futures.pop(unit).result()
+            for i in indices:
+                if i in complete:
+                    continue
+                rule = tasks[i].stop
+                while (i, next_fold[i]) in ready and i not in complete:
+                    got, shard_stats = ready.pop((i, next_fold[i]))
+                    stats.merge(ScreenStats.from_dict(shard_stats))
+                    successes[i] += got
+                    trials[i] += plans[i][next_fold[i]]
+                    next_fold[i] += 1
+                    if on_fold is not None:
+                        on_fold(i, successes[i], trials[i])
+                    stopped = rule is not None and rule.should_stop(
+                        successes[i], trials[i]
+                    )
+                    if stopped or next_fold[i] == len(plans[i]):
+                        complete.add(i)
+                        on_point(i, successes[i], trials[i])
+            # Drop speculative results (and cancel queued batches) of
+            # points that have since completed.
+            for unit in [u for u in ready if u[0] in complete]:
+                del ready[unit]
+            for unit in [u for u, fut in list(futures.items()) if u[0] in complete]:
+                futures[unit].cancel()
+                del futures[unit]

@@ -1,0 +1,98 @@
+"""CI smoke driver for `repro serve` — not a pytest module.
+
+Boots the server on an ephemeral port, then proves served results are
+the offline results:
+
+1. ``POST /points`` for a Figure-7-style survival point must equal the
+   same :class:`EnginePoint` run directly through a local engine.
+2. ``POST /experiments/fig9`` at a small budget must return a bundle
+   whose digest equals the provenance digest a local artifact run
+   (the ``repro fig9 --out`` path) records in ``manifest.json``.
+
+Exits non-zero on any mismatch.  Run as::
+
+    PYTHONPATH=src python tests/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.request
+
+RUNS = 200
+SEED = 2005
+
+
+def post(base: str, path: str, body: dict, timeout: float = 600) -> dict:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.status == 200, (path, response.status)
+        return json.loads(response.read())
+
+
+def main() -> int:
+    from repro.designs.catalog import DTMB_1_6
+    from repro.designs.interstitial import build_with_primary_count
+    from repro.experiments import registry
+    from repro.experiments.artifacts import ArtifactRun
+    from repro.serve import BackgroundServer, ServeConfig
+    from repro.yieldsim.engine import EnginePoint, SweepEngine
+    from repro.yieldsim.kernel import PointSpec
+
+    out_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+
+    # The offline references: one fig7 point and the fig9 bundle, both
+    # produced without the server in the loop.
+    chip = build_with_primary_count(DTMB_1_6, 60).build()
+    [offline_point] = SweepEngine().run_points(
+        [EnginePoint(chip, PointSpec("survival", 0.95, RUNS, SEED))]
+    )
+    local = registry.execute("fig9", runs=RUNS, seed=SEED)
+    run = ArtifactRun(out_dir, runs=RUNS, seed=SEED)
+    run.add(local)
+    manifest_path = run.finalize()
+    manifest = json.load(open(manifest_path))
+    local_digest = manifest["experiments"]["fig9"]["provenance"]["digest"]
+
+    with BackgroundServer(ServeConfig(port=0)) as handle:
+        base = f"http://127.0.0.1:{handle.port}"
+
+        served_point = post(base, "/points", {
+            "kind": "survival", "param": 0.95, "runs": RUNS, "seed": SEED,
+            "design": "DTMB(1,6)", "n": 60,
+        })
+        assert served_point["successes"] == offline_point.successes, (
+            served_point["successes"], offline_point.successes
+        )
+        assert served_point["trials"] == offline_point.trials
+        print(
+            f"fig7 point OK: served {served_point['successes']}/"
+            f"{served_point['trials']} == offline engine"
+        )
+
+        served_bundle = post(
+            base, "/experiments/fig9", {"runs": RUNS, "seed": SEED}
+        )
+        assert served_bundle["digest"] == local_digest, (
+            served_bundle["digest"], local_digest
+        )
+        print(
+            f"fig9 bundle OK: served digest {served_bundle['digest']} == "
+            "local artifact manifest"
+        )
+
+        stats = json.loads(
+            urllib.request.urlopen(base + "/stats", timeout=30).read()
+        )
+        assert stats["points"]["computed"] == 1
+        assert stats["bundles"]["computed"] == 1
+        print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

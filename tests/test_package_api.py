@@ -38,7 +38,7 @@ def test_all_exports_resolve(name):
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_error_hierarchy_rooted():

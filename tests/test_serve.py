@@ -1,0 +1,360 @@
+"""The serving layer: protocol validation, coalescing, streaming, parity.
+
+The headline claims under test:
+
+* **One compute for N identical concurrent requests** — a gated engine
+  holds the computation until every request has joined the in-flight
+  entry, so the assertion (1 leader, N-1 followers, 1 cache miss) is
+  deterministic, not a race the test usually wins.
+* **Served numbers are offline numbers** — a point fetched over HTTP is
+  bit-identical to the same :class:`EnginePoint` run locally, and a
+  served bundle's digest equals a local ``registry.execute`` digest.
+* **One schema everywhere** — ``GET /experiments`` returns exactly
+  ``repro list --json`` / :func:`registry.listing`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments import registry
+from repro.serve import BackgroundServer, PointRequest, ServeConfig
+from repro.serve.protocol import BundleRequest
+from repro.errors import ServeError
+from repro.yieldsim.engine import EnginePoint, SweepEngine
+from repro.yieldsim.kernel import PointSpec
+
+RUNS = 600
+SEED = 77
+POINT_BODY = {
+    "kind": "survival", "param": 0.95, "runs": RUNS, "seed": SEED,
+    "design": "DTMB(2,6)", "n": 60,
+}
+
+
+def http(base, path, body=None, timeout=120):
+    """(status, parsed JSON body) for a GET (body=None) or POST."""
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method="POST" if body is not None else "GET"
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServeConfig(port=0)) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def base(server):
+    return f"http://127.0.0.1:{server.port}"
+
+
+class TestReadEndpoints:
+    def test_info_and_health(self, base):
+        status, info = http(base, "/")
+        assert status == 200 and info["service"] == "repro-serve"
+        status, health = http(base, "/health")
+        assert status == 200 and health["status"] == "ok"
+
+    def test_listing_is_the_shared_registry_schema(self, base):
+        status, listing = http(base, "/experiments")
+        assert status == 200
+        assert listing == registry.listing()
+
+    def test_single_experiment_descriptor(self, base):
+        status, descriptor = http(base, "/experiments/fig9")
+        assert status == 200
+        assert descriptor == registry.get("fig9").as_dict()
+
+    def test_unknown_experiment_404(self, base):
+        status, error = http(base, "/experiments/nope")
+        assert status == 404 and error["error"] == "ExperimentError"
+
+    def test_unknown_route_404(self, base):
+        status, error = http(base, "/nothing/here")
+        assert status == 404 and error["error"] == "NotFound"
+
+    def test_stats_shape(self, base):
+        status, stats = http(base, "/stats")
+        assert status == 200
+        assert {"requests", "points", "bundles", "engine"} <= set(stats)
+
+
+class TestPointRequests:
+    def test_served_point_equals_offline_engine(self, base, dtmb26_chip):
+        status, served = http(base, "/points", POINT_BODY)
+        assert status == 200
+        # n=60 primaries is a different build than the fixture's 10x10
+        # footprint — reconstruct the exact chip the server built.
+        from repro.designs.catalog import DTMB_2_6
+        from repro.designs.interstitial import build_with_primary_count
+
+        chip = build_with_primary_count(DTMB_2_6, 60).build()
+        [offline] = SweepEngine().run_points(
+            [EnginePoint(chip, PointSpec("survival", 0.95, RUNS, SEED))]
+        )
+        assert served["successes"] == offline.successes
+        assert served["trials"] == offline.trials
+        assert served["value"] == offline.value
+
+    def test_digest_addressing_resolves_same_point(self, base):
+        _, first = http(base, "/points", POINT_BODY)
+        body = dict(POINT_BODY)
+        del body["design"], body["n"]
+        body["chip_digest"] = first["chip_digest"]
+        status, second = http(base, "/points", body)
+        assert status == 200
+        assert second["key"] == first["key"]
+        assert second["value"] == first["value"]
+
+    def test_unseen_chip_digest_is_a_clean_400(self, base):
+        body = dict(POINT_BODY)
+        del body["design"], body["n"]
+        body["chip_digest"] = "0" * 64
+        status, error = http(base, "/points", body)
+        assert status == 400 and error["error"] == "ServeError"
+
+    def test_adaptive_point_stops_early(self, base):
+        body = dict(POINT_BODY, runs=50_000, adaptive=True, target_ci=0.05)
+        status, served = http(base, "/points", body)
+        assert status == 200
+        assert served["adaptive"] is True
+        assert served["trials"] < 50_000
+
+    def test_streamed_point_sends_ndjson_progress(self, base):
+        body = dict(
+            POINT_BODY, runs=20_000, seed=SEED + 1,
+            adaptive=True, target_ci=0.02, stream=True,
+        )
+        req = urllib.request.Request(
+            base + "/points", data=json.dumps(body).encode(), method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=300) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(l) for l in response.read().splitlines()]
+        assert lines[0]["event"] == "accepted"
+        assert lines[-1]["event"] == "result"
+        folds = [l for l in lines if l["event"] == "fold"]
+        assert folds, "adaptive points must stream fold progress"
+        trials = [f["trials"] for f in folds]
+        assert trials == sorted(trials)
+        # The stream's final result equals the non-streamed answer.
+        plain = dict(body)
+        del plain["stream"]
+        _, direct = http(base, "/points", plain)
+        assert lines[-1]["value"] == direct["value"]
+        assert lines[-1]["trials"] == direct["trials"]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},                                                # missing fields
+            dict(POINT_BODY, kind="bogus"),                    # bad regime
+            dict(POINT_BODY, runs=0),                          # empty budget
+            dict(POINT_BODY, runs="many"),                     # wrong type
+            dict(POINT_BODY, surprise=1),                      # unknown field
+            dict(POINT_BODY, design="nope"),                   # unknown design
+            dict(POINT_BODY, target_ci=-1.0),                  # bad target
+            dict(POINT_BODY, kind="fixed", param=3,
+                 defect_model="negbin"),                       # fixed + model
+        ],
+    )
+    def test_bad_point_requests_are_400(self, base, body):
+        status, error = http(base, "/points", body)
+        assert status == 400, error
+        assert error["error"] in ("ServeError", "SimulationError")
+
+    def test_request_dataclasses_reject_bad_input_eagerly(self):
+        with pytest.raises(ServeError):
+            PointRequest.from_dict({"param": 0.9, "runs": 100})
+        with pytest.raises(ServeError):
+            BundleRequest.from_dict("fig7", {"runs": True})
+
+    def test_runs_above_server_ceiling_rejected(self):
+        with BackgroundServer(ServeConfig(port=0, max_runs=1000)) as handle:
+            small = f"http://127.0.0.1:{handle.port}"
+            status, error = http(small, "/points", dict(POINT_BODY, runs=2000))
+            assert status == 400
+            assert "ceiling" in error["message"]
+
+    def test_oversized_body_is_rejected(self, base):
+        # The server rejects on Content-Length without draining the body,
+        # so the client sees either the 413 response or a reset while
+        # still sending — both are a rejection; the server must survive.
+        try:
+            status, _ = http(
+                base, "/points", dict(POINT_BODY, defect_model="x" * (1 << 20))
+            )
+            assert status == 413
+        except (urllib.error.URLError, ConnectionError):
+            pass
+        status, health = http(base, "/health")
+        assert status == 200 and health["status"] == "ok"
+
+    def test_non_json_body_is_400(self, base):
+        req = urllib.request.Request(
+            base + "/points", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_wrong_method_is_405(self, base):
+        status, error = http(base, "/points")
+        assert status == 405
+
+
+class GatedEngine(SweepEngine):
+    """An engine whose compute blocks until the test opens the gate —
+    making "all N requests joined before anything computed" a certainty
+    rather than a race."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+        self.compute_calls = 0
+
+    def run_points(self, tasks, on_fold=None):
+        assert self.gate.wait(timeout=60), "test never opened the gate"
+        self.compute_calls += 1
+        return super().run_points(tasks, on_fold=on_fold)
+
+
+def _wait_until(predicate, timeout=30):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestCoalescing:
+    N = 6
+
+    def test_identical_concurrent_points_compute_once(self, tmp_path):
+        engine = GatedEngine(cache_dir=str(tmp_path))
+        with BackgroundServer(ServeConfig(port=0), engine=engine) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            results = []
+
+            def request():
+                results.append(http(url, "/points", POINT_BODY, timeout=300))
+
+            threads = [
+                threading.Thread(target=request) for _ in range(self.N)
+            ]
+            for thread in threads:
+                thread.start()
+            # Every request must be parked on the same in-flight entry
+            # before the (still gated) computation may produce a result.
+            assert _wait_until(
+                lambda: handle.server.points.followers == self.N - 1
+            ), "requests did not coalesce onto one entry"
+            engine.gate.set()
+            for thread in threads:
+                thread.join(timeout=300)
+
+            statuses = [status for status, _ in results]
+            payloads = [payload for _, payload in results]
+            assert statuses == [200] * self.N
+            # Exactly one computation happened, whichever way you count.
+            assert engine.compute_calls == 1
+            assert engine.cache_misses == 1
+            assert engine.cache_hits == 0
+            assert handle.server.points.leaders == 1
+            assert handle.server.points.followers == self.N - 1
+            # Everyone got the same (bit-identical) answer.
+            assert len({p["value"] for p in payloads}) == 1
+            assert len({p["key"] for p in payloads}) == 1
+            assert sorted(p["coalesced"] for p in payloads) == (
+                [False] + [True] * (self.N - 1)
+            )
+
+    def test_distinct_requests_do_not_coalesce(self, tmp_path):
+        engine = GatedEngine(cache_dir=str(tmp_path))
+        engine.gate.set()  # no gating needed; these must all compute
+        with BackgroundServer(ServeConfig(port=0), engine=engine) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            for seed in (1, 2, 3):
+                status, _ = http(
+                    url, "/points", dict(POINT_BODY, seed=seed), timeout=300
+                )
+                assert status == 200
+            assert handle.server.points.leaders == 3
+            assert handle.server.points.followers == 0
+            assert engine.cache_misses == 3
+
+    def test_failed_leader_propagates_to_followers(self):
+        class FailingEngine(GatedEngine):
+            def run_points(self, tasks, on_fold=None):
+                assert self.gate.wait(timeout=60)
+                raise RuntimeError("engine exploded")
+
+        engine = FailingEngine()
+        with BackgroundServer(ServeConfig(port=0), engine=engine) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            results = []
+
+            def request():
+                results.append(http(url, "/points", POINT_BODY, timeout=300))
+
+            threads = [threading.Thread(target=request) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            assert _wait_until(lambda: handle.server.points.followers == 2)
+            engine.gate.set()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert [status for status, _ in results] == [500] * 3
+            for _, error in results:
+                assert error["error"] == "InternalError"
+
+
+class TestBundles:
+    def test_served_bundle_digest_matches_local_execute(self, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        config = ServeConfig(port=0, out_dir=str(out_dir))
+        with BackgroundServer(config) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            status, bundle = http(
+                url, "/experiments/fig7", {"runs": 200, "seed": 5},
+                timeout=600,
+            )
+        assert status == 200
+        local = registry.execute("fig7", runs=200, seed=5)
+        assert bundle["digest"] == local.provenance.digest
+        assert bundle["rows"] == [list(r) for r in local.rows]
+        assert bundle["report"] == local.canonical_report_text()
+        # The served run was persisted through the artifact store and the
+        # manifest's digest agrees with the response body.
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert (
+            manifest["experiments"]["fig7"]["provenance"]["digest"]
+            == bundle["digest"]
+        )
+        assert bundle["artifacts"]["files"]["csv"] == "fig7/fig7.csv"
+
+    def test_bundle_validation_and_defect_model_gate(self, base):
+        status, error = http(base, "/experiments/fig7", {"runs": -1})
+        assert status == 400
+        # table1 is deterministic and takes no defect-model knob.
+        status, error = http(
+            base, "/experiments/table1", {"defect_model": "negbin"}
+        )
+        assert status == 400 and error["error"] == "ServeError"
