@@ -34,6 +34,16 @@ spatial defect model (clustered spots, rate mixing, radial gradients —
 see :mod:`repro.yieldsim.defects`) at severity matched to the p axis;
 the scenario-pack experiments (``fig7-clustered``, ``fig9-clustered``,
 ``scenario-gradient``) package the headline comparisons.
+``--criterion NAME[:k=v,...]`` swaps the success predicate of the
+Monte-Carlo sweeps (fig7's check column, fig9): ``matching`` (default),
+``routing:assay=A,deadline=D`` and ``multiplexed:assays=A+B,deadline=D``
+count a fault map as a success only if the repaired chip still schedules
+the named assay's droplet routes (see :mod:`repro.functional`); the
+``fig7-functional``/``fig9-functional``/``scenario-multiplexed`` packs
+report the matching-vs-functional yield gap directly.
+``repro all --experiment-jobs N`` runs whole experiments in parallel
+worker processes, one experiment per worker, with per-experiment output
+byte-identical to the serial loop.
 ``--csv`` exports the rows of any tabular experiment;
 ``--out DIR`` writes the full artifact bundle (CSV + JSON + report +
 ASCII charts per experiment, plus a ``manifest.json`` with provenance:
@@ -48,7 +58,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.errors import ExperimentError, FaultModelError
+from repro.errors import CriterionError, ExperimentError, FaultModelError
 from repro.experiments import registry
 from repro.experiments.artifacts import ArtifactRun
 from repro.experiments.registry import Experiment, ExperimentResult
@@ -63,6 +73,7 @@ __all__ = [
     "add_engine_options",
     "add_adaptive_options",
     "add_model_options",
+    "add_criterion_options",
     "add_render_options",
 ]
 
@@ -135,6 +146,20 @@ def add_model_options(p: argparse.ArgumentParser) -> None:
              "gradient[:spread=S,power=W]; severity stays matched to "
              "the sweep's p axis.  Under `all`, applies to the "
              "model-capable experiments and leaves the rest unchanged",
+    )
+
+
+def add_criterion_options(p: argparse.ArgumentParser) -> None:
+    """--criterion: functional success criterion for the survival sweeps."""
+    p.add_argument(
+        "--criterion", type=str, default=None, metavar="NAME[:k=v,...]",
+        help="success criterion for the Monte-Carlo sweeps (fig7/fig9): "
+             "matching (default), routing[:assay=A,deadline=D], "
+             "multiplexed[:assays=A+B,deadline=D].  Functional criteria "
+             "count a fault map as a success only if the named assay's "
+             "droplet routes still schedule on the repaired chip (see "
+             "repro.functional).  Under `all`, applies to the "
+             "criterion-capable experiments and leaves the rest unchanged",
     )
 
 
@@ -226,13 +251,31 @@ def _model_family_from_args(args: argparse.Namespace) -> Optional[ModelFamily]:
     return family_from_spec(text)
 
 
+def _criterion_from_args(args: argparse.Namespace):
+    """The parsed --criterion instance, or None."""
+    text = getattr(args, "criterion", None)
+    if not text:
+        return None
+    # Deferred import: the criterion subsystem pulls in the fluidics
+    # scheduler, which plain matching runs never need.
+    from repro.functional import criterion_from_spec
+
+    return criterion_from_spec(text)
+
+
 def _execute(
     experiment: Experiment,
     args: argparse.Namespace,
     engine: Optional[SweepEngine],
     model: Optional[ModelFamily] = None,
+    criterion: Optional[object] = None,
 ) -> ExperimentResult:
     target_ci = _target_ci_from_args(args)
+    knobs = {}
+    if model is not None:
+        knobs["model"] = model
+    if criterion is not None:
+        knobs["criterion"] = criterion
     result = registry.execute(
         experiment,
         runs=args.runs,
@@ -244,7 +287,7 @@ def _execute(
             "adaptive": bool(getattr(args, "adaptive", False) or target_ci),
             "target_ci": target_ci,
         },
-        knobs={"model": model} if model is not None else None,
+        knobs=knobs or None,
     )
     prov = result.provenance
     if prov.stop_rule is not None and prov.mc_runs_requested:
@@ -285,9 +328,15 @@ def _run_experiment(args: argparse.Namespace) -> int:
             f"{experiment.name} does not accept --defect-model "
             "(its fault regime is part of the experiment definition)"
         )
+    criterion = _criterion_from_args(args)
+    if criterion is not None and not experiment.criterion_knob:
+        return _fail(
+            f"{experiment.name} does not accept --criterion "
+            "(its success predicate is part of the experiment definition)"
+        )
     run = _artifact_run(args)
     engine = _engine_from_args(args)
-    result = _execute(experiment, args, engine, model=model)
+    result = _execute(experiment, args, engine, model=model, criterion=criterion)
     _print_result(result, args)
     if args.csv:
         write_csv(args.csv, result.headers, result.rows)
@@ -299,22 +348,202 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+class _RemotePayload:
+    """An :class:`ExperimentResult` stand-in rebuilt from a worker payload.
+
+    Cross-experiment sharding computes each experiment in a worker
+    process; ``Experiment`` records hold unpicklable renderer closures, so
+    workers return plain data (:func:`_all_unit`) and the parent wraps it
+    in this shim, which quacks exactly like ``ExperimentResult`` for the
+    two consumers `all` has: ``_print_result`` and ``ArtifactRun.add``.
+    Every field is carried verbatim from the worker's real result, so the
+    artifacts written through the shim are byte-identical to a serial run.
+    """
+
+    class _Provenance:
+        def __init__(self, full: dict, stable: dict):
+            self._full = full
+            self._stable = stable
+
+        def as_dict(self) -> dict:
+            return dict(self._full)
+
+        def stable_dict(self) -> dict:
+            return dict(self._stable)
+
+    def __init__(self, experiment: Experiment, payload: dict):
+        self.experiment = experiment
+        self.headers = payload["headers"]
+        self.rows = payload["rows"]
+        self.charts = payload["charts"]
+        self._report_text = payload["report_text"]
+        self._canonical = payload["canonical_report_text"]
+        self.provenance = self._Provenance(
+            payload["provenance"], payload["provenance_stable"]
+        )
+
+    @property
+    def name(self) -> str:
+        return self.experiment.name
+
+    @property
+    def tabular(self) -> bool:
+        return self.headers is not None
+
+    def report_text(self) -> str:
+        return self._report_text
+
+    def canonical_report_text(self) -> str:
+        return self._canonical
+
+
+def _all_unit(
+    name: str,
+    runs: int,
+    seed: int,
+    options: dict,
+    model_spec: Optional[str],
+    criterion_spec: Optional[str],
+    cache_dir: Optional[str],
+    shard_runs: Optional[int],
+    want_charts: bool,
+) -> dict:
+    """One `repro all` experiment, computed in a worker process.
+
+    Module-level (picklable) so :class:`~repro.yieldsim.executors.
+    PoolExecutor` can ship it; takes only plain values and returns only
+    plain values.  Model/criterion arrive as their CLI spec strings and
+    are re-parsed here — parsed instances need not cross the process
+    boundary.  The worker runs its experiment serially (parallelism comes
+    from running experiments side by side), still honoring the result
+    cache and shard plan, which cannot change any number by the engine's
+    bit-identity contract.
+    """
+    experiment = registry.get(name)
+    engine = None
+    if cache_dir is not None or shard_runs is not None:
+        engine = SweepEngine(cache_dir=cache_dir, shard_runs=shard_runs)
+    knobs: dict = {}
+    if model_spec and experiment.model_knob:
+        knobs["model"] = family_from_spec(model_spec)
+    if criterion_spec and experiment.criterion_knob:
+        from repro.functional import criterion_from_spec
+
+        knobs["criterion"] = criterion_from_spec(criterion_spec)
+    result = registry.execute(
+        experiment,
+        runs=runs,
+        seed=seed,
+        engine=engine,
+        options=options,
+        knobs=knobs or None,
+    )
+    return {
+        "name": result.name,
+        "headers": result.headers,
+        "rows": result.rows,
+        "charts": result.charts if want_charts else (),
+        "report_text": result.report_text(),
+        "canonical_report_text": result.canonical_report_text(),
+        "provenance": result.provenance.as_dict(),
+        "provenance_stable": result.provenance.stable_dict(),
+    }
+
+
+def _print_adaptive_note(budget: dict) -> None:
+    """The per-experiment adaptive-budget stderr line, from provenance."""
+    if budget.get("stop_rule") is not None and budget.get("mc_runs_requested"):
+        spent = 100.0 * budget["mc_runs_effective"] / budget["mc_runs_requested"]
+        print(
+            f"  adaptive budget: {budget['mc_runs_effective']}/"
+            f"{budget['mc_runs_requested']} runs ({spent:.0f}% of flat) over "
+            f"{len(budget['points'])} points",
+            file=sys.stderr,
+        )
+
+
+def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
+    """`repro all` with one experiment per worker process.
+
+    Submits every registered experiment through the same
+    :class:`~repro.yieldsim.executors.Executor` seam the point scheduler
+    uses, then folds results in registry order — stdout, artifacts and
+    the manifest come out exactly as the serial loop writes them (the
+    executor changes wall-clock time, never a number or a byte).
+    """
+    from repro.yieldsim.executors import default_executor
+
+    # Parse --defect-model/--criterion in the parent first: a malformed
+    # spec must fail before any worker budget is spent.
+    _model_family_from_args(args)
+    _criterion_from_args(args)
+    target_ci = _target_ci_from_args(args)
+    options = {
+        "chart": getattr(args, "chart", False),
+        "mc_check": getattr(args, "mc_check", False),
+        "adaptive": bool(getattr(args, "adaptive", False) or target_ci),
+        "target_ci": target_ci,
+    }
+    run = _artifact_run(args)
+    want_charts = bool(getattr(args, "chart", False) or run is not None)
+    experiments = registry.all_experiments()
+    executor = default_executor(min(jobs, len(experiments)))
+    executor.start(len(experiments))
+    try:
+        futures = [
+            executor.submit(
+                _all_unit,
+                experiment.name,
+                args.runs,
+                args.seed,
+                options,
+                getattr(args, "defect_model", None),
+                getattr(args, "criterion", None),
+                getattr(args, "cache", None) or None,
+                getattr(args, "shard_runs", None),
+                want_charts,
+            )
+            for experiment in experiments
+        ]
+        for experiment, future in zip(experiments, futures):
+            payload = future.result()
+            _emit(f"\n=== {experiment.name} ===")
+            result = _RemotePayload(experiment, payload)
+            _print_adaptive_note(payload["provenance"]["budget"])
+            _print_result(result, args)
+            if run is not None:
+                run.add(result)
+    finally:
+        executor.shutdown()
+    if run is not None:
+        manifest = run.finalize()
+        _emit(f"\nwrote {manifest} ({run.added} experiments)")
+    return 0
+
+
 def _run_all(args: argparse.Namespace) -> int:
     if args.csv:
         return _fail(
             "`all` cannot write a single CSV; use --out DIR for "
             "per-experiment artifacts"
         )
+    experiment_jobs = getattr(args, "experiment_jobs", 1) or 1
+    if experiment_jobs < 1:
+        return _fail(f"--experiment-jobs must be >= 1, got {experiment_jobs}")
+    if experiment_jobs > 1:
+        return _run_all_sharded(args, experiment_jobs)
     engine = _engine_from_args(args)
     run = _artifact_run(args)
     model = _model_family_from_args(args)
+    criterion = _criterion_from_args(args)
     for experiment in registry.all_experiments():
         _emit(f"\n=== {experiment.name} ===")
-        # --defect-model applies to the sweeps that accept a family; the
-        # fixed-regime experiments run unchanged (documented in --help).
+        # --defect-model/--criterion apply to the sweeps that accept the
+        # knob; the fixed-regime experiments run unchanged (per --help).
         result = _execute(
             experiment, args, engine,
             model=model if experiment.model_knob else None,
+            criterion=criterion if experiment.criterion_knob else None,
         )
         _print_result(result, args)
         if run is not None:
@@ -423,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
         add_engine_options(p)
         add_adaptive_options(p)
         add_model_options(p)
+        add_criterion_options(p)
 
     for experiment in registry.all_experiments():
         p = sub.add_parser(
@@ -435,6 +665,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("all", help="regenerate every registered experiment")
     common(p)
+    p.add_argument(
+        "--experiment-jobs", type=int, default=1, metavar="N",
+        help="run up to N whole experiments in parallel worker processes "
+             "(each worker computes its experiment serially; stdout, "
+             "artifacts and the manifest are byte-identical to "
+             "--experiment-jobs 1)",
+    )
     p.set_defaults(handler=_run_all)
 
     p = sub.add_parser("list", help="list the registered experiments")
@@ -498,6 +735,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.handler(args)
     except FaultModelError as exc:
         # A malformed --defect-model spec is a CLI mistake, not a bug.
+        return _fail(str(exc))
+    except CriterionError as exc:
+        # Same treatment for a malformed --criterion spec.
         return _fail(str(exc))
     except ExperimentError as exc:
         # User-facing registry/artifact mistakes (unknown experiment name,

@@ -13,6 +13,7 @@ __all__ = [
     "ChipError",
     "DesignError",
     "FaultModelError",
+    "CriterionError",
     "ReconfigurationError",
     "IrreparableChipError",
     "FluidicsError",
@@ -47,6 +48,10 @@ class DesignError(ChipError):
 
 class FaultModelError(ReproError):
     """Invalid fault specification or injection parameters."""
+
+
+class CriterionError(ReproError):
+    """Invalid functional success-criterion specification or placement."""
 
 
 class ReconfigurationError(ReproError):

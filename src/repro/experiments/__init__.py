@@ -17,7 +17,9 @@ module                reproduces
 ``design_targeting``  the (process, target-yield) design selector
 ``scenario_*``        scenario packs: paper figures rerun under the
                       pluggable spatial defect models (clustered
-                      spots, wafer gradients, rate mixing)
+                      spots, wafer gradients, rate mixing) and under
+                      the pluggable functional success criteria
+                      (routing-aware and multiplexed yield)
 ====================  ============================================
 
 Figure 8 (the bipartite-matching example) is exercised directly by the
@@ -44,6 +46,7 @@ from repro.experiments import (  # noqa: F401 - re-exported driver modules
     fig13,
     figs3to6,
     scenario_clustered,
+    scenario_functional,
     table1,
 )
 from repro.experiments import artifacts, registry  # noqa: F401
@@ -64,6 +67,7 @@ __all__ = [
     "ablation_hexsquare",
     "design_targeting",
     "scenario_clustered",
+    "scenario_functional",
     "registry",
     "artifacts",
     "format_table",

@@ -88,6 +88,7 @@ class Fig9Result:
     order=50,
     budget=BudgetPolicy(stop_rule=DEFAULT_STOP_RULE),
     model_knob=True,
+    criterion_knob=True,
     charts=lambda raw: tuple(
         (f"n-{n}", raw.format_chart(n)) for n in sorted({pt.n for pt in raw.points})
     ),
@@ -102,6 +103,7 @@ def run(
     ps: Sequence[float] = DEFAULT_P_GRID,
     stop: Optional[StopRule] = None,
     model=None,
+    criterion=None,
 ) -> Fig9Result:
     """The Figure 9 sweep (paper defaults: 10 000 runs per point).
 
@@ -110,10 +112,13 @@ def run(
     :class:`StopRule` to let each point stop as soon as its Wilson
     interval is as narrow as the figure needs; pass a defect-model family
     (``model``, e.g. ``family_from_spec("spot:radius=1")`` — the CLI's
-    ``--defect-model``) to rerun the figure under a spatial defect regime.
+    ``--defect-model``) to rerun the figure under a spatial defect regime;
+    pass a success criterion (``criterion``, e.g.
+    ``criterion_from_spec("routing:assay=glucose")`` — the CLI's
+    ``--criterion``) to report functional yield instead of matching yield.
     """
     points = survival_sweep(
         designs, ns, ps, runs=runs, seed=seed, engine=engine, stop=stop,
-        model=model,
+        model=model, criterion=criterion,
     )
     return Fig9Result(points=tuple(points))

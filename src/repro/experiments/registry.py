@@ -213,6 +213,9 @@ class Experiment:
     #: True when the driver's ``run`` accepts a ``model=`` defect-model
     #: family (the CLI's ``--defect-model`` applies only to these).
     model_knob: bool = False
+    #: True when the driver's ``run`` accepts a ``criterion=`` success
+    #: criterion (the CLI's ``--criterion`` applies only to these).
+    criterion_knob: bool = False
 
     @property
     def has_charts(self) -> bool:
@@ -253,6 +256,7 @@ class Experiment:
             "tabular": self.tabular,
             "charts": self.has_charts,
             "model_knob": self.model_knob,
+            "criterion_knob": self.criterion_knob,
             "driver": f"{self.runner.__module__}.run",
             "doc": doc[0].strip() if doc else None,
             "budget": {
@@ -275,6 +279,7 @@ class Experiment:
             f"aliases:   {', '.join(self.aliases) if self.aliases else '-'}",
             f"budget:    {self.budget.describe()}",
             f"defects:   {'--defect-model NAME[:k=v,...] supported' if self.model_knob else 'defined by the experiment'}",
+            f"criteria:  {'--criterion NAME[:k=v,...] supported' if self.criterion_knob else 'matching (defined by the experiment)'}",
             f"tabular:   {'yes (CSV/JSON artifacts)' if self.tabular else 'no (report only)'}",
             f"charts:    {'yes' if self.has_charts else 'no'}",
             f"driver:    {self.runner.__module__}.run",
@@ -317,6 +322,12 @@ class Provenance:
     #: sampled from, in first-use order; empty for the classic i.i.d. and
     #: fixed-count regimes.
     defect_models: Tuple[Tuple[str, str], ...] = ()
+    #: distinct (spec, digest) of every success criterion the dispatch
+    #: evaluated, in first-use order; empty for default matching points.
+    criteria: Tuple[Tuple[str, str], ...] = ()
+    #: merged criterion-funnel counters across the dispatch's computed
+    #: criterion points (None when nothing was computed, e.g. all cached).
+    criterion_funnel: Optional[Dict[str, int]] = None
 
     def _defect_model_block(self) -> Dict[str, object]:
         """The ``defect_models`` entry, present only for model dispatches.
@@ -330,6 +341,24 @@ class Provenance:
             "defect_models": [
                 {"name": name, "digest": digest}
                 for name, digest in self.defect_models
+            ]
+        }
+
+    def _criteria_block(self) -> Dict[str, object]:
+        """The ``criteria`` entry, present only for criterion dispatches.
+
+        Same omission contract as :meth:`_defect_model_block`: default
+        matching dispatches emit nothing, keeping their artifacts
+        byte-identical to pre-subsystem bundles.  The funnel counters are
+        volatile telemetry (cache hits have none), so they appear in
+        ``as_dict`` — the manifest — but never in :meth:`stable_dict`.
+        """
+        if not self.criteria:
+            return {}
+        return {
+            "criteria": [
+                {"spec": spec, "digest": digest}
+                for spec, digest in self.criteria
             ]
         }
 
@@ -354,6 +383,14 @@ class Provenance:
                 "points": [list(point) for point in self.mc_points],
                 # Which failure-map distributions produced those points.
                 **self._defect_model_block(),
+                # Which success predicates judged them, plus the merged
+                # screen-vs-residue funnel counters of the computation.
+                **self._criteria_block(),
+                **(
+                    {"criterion_funnel": dict(self.criterion_funnel)}
+                    if self.criterion_funnel is not None
+                    else {}
+                ),
             },
             "wall_time_s": round(self.wall_time_s, 6),
             "digest": self.digest,
@@ -379,6 +416,7 @@ class Provenance:
             "mc_runs_requested": self.mc_runs_requested,
             "mc_runs_effective": self.mc_runs_effective,
             **self._defect_model_block(),
+            **self._criteria_block(),
             "digest": self.digest,
         }
 
@@ -476,6 +514,7 @@ def register(
     epilogue: Optional[EpilogueFn] = None,
     charts: Optional[ChartsFn] = None,
     model_knob: bool = False,
+    criterion_knob: bool = False,
 ) -> Callable[[Callable[..., object]], Callable[..., object]]:
     """Class the decorated ``run`` function as a registered experiment.
 
@@ -497,6 +536,7 @@ def register(
             epilogue=epilogue,
             charts=charts,
             model_knob=model_knob,
+            criterion_knob=criterion_knob,
         )
         _add(experiment)
         return fn
@@ -605,11 +645,22 @@ def execute(
     wall = time.perf_counter() - start
     points = track.point_log[log0:]
     models: List[Tuple[str, str]] = []
+    criteria: List[Tuple[str, str]] = []
+    funnel: Optional[Dict[str, int]] = None
     for point in points:
         if point.model is not None and point.model_digest is not None:
             pair = (point.model, point.model_digest)
             if pair not in models:
                 models.append(pair)
+        if point.criterion is not None and point.criterion_digest is not None:
+            pair = (point.criterion, point.criterion_digest)
+            if pair not in criteria:
+                criteria.append(pair)
+            if point.funnel is not None:
+                if funnel is None:
+                    funnel = dict.fromkeys(point.funnel, 0)
+                for key, value in point.funnel.items():
+                    funnel[key] = funnel.get(key, 0) + int(value)
 
     report = experiment.render_report(raw, options)
     epilogue = experiment.render_epilogue(raw)
@@ -638,6 +689,8 @@ def execute(
             for point in points
         ),
         defect_models=tuple(models),
+        criteria=tuple(criteria),
+        criterion_funnel=funnel,
     )
     return ExperimentResult(
         experiment=experiment,

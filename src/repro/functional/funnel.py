@@ -1,0 +1,423 @@
+"""Screen-funnel evaluation of functional success criteria.
+
+Deciding "does the assay still run on this repaired chip?" with the real
+:class:`~repro.fluidics.scheduler.Scheduler` costs a Python A* per route
+per run — exactly the per-run cost the matching kernel's funnel was built
+to avoid.  This module reuses that idiom for the criterion layer: a
+cascade of *exact* vectorized screens decides most runs of a survival
+batch at once, and only the ambiguous residue pays for the scheduler.
+
+The funnel, in order (every stage is exact — never a heuristic):
+
+1. **matching fail** — a run the kernel already classified BAD has no
+   complete repair plan, so no remap exists and every functional
+   criterion fails.  (The kernel's GOOD verdict and
+   ``plan_local_repair(...).complete`` are the same bipartite question on
+   the same graph.)
+2. **spare-only faults** — a run with no faulty *primary* anywhere gets
+   the identity remap, and the router never inspects spare health for
+   identity-mapped primaries, so its logical graph equals the fault-free
+   baseline's: the run takes the precomputed baseline verdict.
+3. **alive-primary route screen** (routing criterion only, one-sided
+   success) — if every functional site is alive, any physical path
+   through alive primary cells is a valid logical route under *any*
+   complete remap (alive primaries map to themselves, so consecutive
+   cells stay logically adjacent and usable).  A vectorized multi-run BFS
+   over the alive-primary subgraph computes per-leg distances; if every
+   leg connects and the distances sum within the deadline, the run
+   succeeds.  This subsumes the untouched-baseline-route fast path — a
+   surviving baseline route is one such alive-primary path — and also
+   covers detours around faults.
+4. **reachability / distance bound** (one-sided fail) — a logical
+   route's physical images form a walk in the alive-cell graph from the
+   source's anchor set (the cell itself, plus its adjacent spares when
+   the matching may remap it) to the target's anchors.  A multi-source
+   BFS over *all* alive cells therefore lower-bounds every leg: if some
+   leg's anchors are unreachable (or dead), or the per-leg lower bounds
+   already exceed the deadline (sum for sequential legs, max for the
+   concurrent makespan), the run fails — whatever the scheduler would
+   try.
+5. **residue** — whatever remains is decided by brute force: build the
+   run's :class:`~repro.reconfig.local.RepairPlan` (extended so faulty
+   primaries outside the needed set become routed-around dead cells),
+   install the :class:`~repro.reconfig.remap.CellRemap`, and drive the
+   real scheduler (:class:`RoutingCriterion`) or
+   :class:`~repro.fluidics.concurrent_routing.ConcurrentRouter`
+   (:class:`MultiplexedCriterion`).
+
+Per-(structure, criterion) precomputation — site placement, anchor
+masks, padded physical adjacency, the fault-free baseline verdict — is
+cached on the :class:`~repro.yieldsim.kernel.RepairStructure` via a weak
+map, the ``geometry_for`` idiom of :mod:`repro.yieldsim.defects`.
+
+:func:`criterion_successes` is the criterion twin of
+:func:`repro.yieldsim.kernel.model_successes`: identical sampling loop
+and RNG stream (same ~8 MB batches from the same generator), with the
+criterion evaluated on cache-sized sub-slices of each batch.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.assays.library import assay_by_analyte
+from repro.errors import FluidicsError, ReconfigurationError, SimulationError
+from repro.faults.injection import RngLike, make_rng
+from repro.fluidics.concurrent_routing import ConcurrentRouter, RouteRequest
+from repro.fluidics.controller import ElectrodeController
+from repro.fluidics.operations import Discard, Dispense, Operation, Transport
+from repro.fluidics.scheduler import Scheduler
+from repro.functional.criteria import CriterionStats, SuccessCriterion
+from repro.functional.sites import multiplexed_endpoints, routing_sites, site_legs
+from repro.reconfig.local import RepairPlan, plan_local_repair
+from repro.reconfig.remap import CellRemap
+from repro.yieldsim.defects import DefectModel
+from repro.yieldsim.kernel import (
+    _CLASSIFY_BYTES,
+    GOOD,
+    RepairStructure,
+    ScreenStats,
+    classify_repairable,
+    survival_batch_sizes,
+)
+
+__all__ = ["evaluate_functional", "criterion_successes", "context_for"]
+
+#: Per-structure cache of funnel contexts, keyed by criterion digest.
+_CONTEXTS: "weakref.WeakKeyDictionary[RepairStructure, Dict[str, _FunnelContext]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _bfs_distances(
+    allowed: np.ndarray,
+    start: np.ndarray,
+    target: np.ndarray,
+    nbr_pos: np.ndarray,
+    nbr_mask: np.ndarray,
+) -> np.ndarray:
+    """Per-run BFS distance from a start set to a target set.
+
+    All arguments are per-run boolean masks of shape ``(r, n_cells)``
+    (``nbr_pos``/``nbr_mask`` are the shared padded adjacency).  Returns
+    the per-run distance at which the BFS first touches the target set,
+    or ``-1`` when it never does (including an empty start set).  BFS
+    frontiers expand for all runs simultaneously; the loop runs at most
+    graph-diameter iterations.
+    """
+    reached = start & allowed
+    dist = np.full(reached.shape[0], -1, dtype=np.int64)
+    hit = (reached & target).any(axis=1)
+    dist[hit] = 0
+    level = 0
+    while True:
+        level += 1
+        grow = (reached[:, nbr_pos] & nbr_mask).any(axis=2)
+        grow &= allowed & ~reached
+        if not grow.any():
+            break
+        reached |= grow
+        hit_now = (dist < 0) & (grow & target).any(axis=1)
+        dist[hit_now] = level
+    return dist
+
+
+class _FunnelContext:
+    """Everything one (structure, criterion) pair precomputes once."""
+
+    def __init__(self, struct: RepairStructure, criterion: SuccessCriterion):
+        chip = struct.chip
+        coords = chip.coords
+        index = {c: i for i, c in enumerate(coords)}
+        n = len(coords)
+        self.struct = struct
+        self.criterion = criterion
+        self.concurrent = criterion.name == "multiplexed"
+        self.deadline = int(criterion.deadline)
+
+        primary_cols = [index[cell.coord] for cell in chip.primaries()]
+        self.primary_cols = np.asarray(primary_cols, dtype=np.int64)
+        #: (n_cells,) mask of primary cells — the S3 route subgraph.
+        self.primary_mask = np.zeros(n, dtype=bool)
+        self.primary_mask[self.primary_cols] = True
+
+        self.needed_coords: List[Hashable] = [
+            coords[int(i)] for i in struct.needed_idx
+        ]
+        needed_set = set(self.needed_coords)
+        #: (n_cells,) mask of primaries *outside* the needed set: faulty
+        #: ones become routed-around dead cells in the residue's plan.
+        self.unneeded_primary_mask = np.array(
+            [
+                chip[c].is_primary and c not in needed_set
+                for c in coords
+            ],
+            dtype=bool,
+        )
+
+        # Padded physical adjacency over every cell (spares included).
+        nbr_lists = [[index[x] for x in chip.neighbors(c)] for c in coords]
+        width = max((len(lst) for lst in nbr_lists), default=0) or 1
+        self.nbr_pos = np.zeros((n, width), dtype=np.int32)
+        self.nbr_mask = np.zeros((n, width), dtype=bool)
+        for i, lst in enumerate(nbr_lists):
+            for d, j in enumerate(lst):
+                self.nbr_pos[i, d] = j
+                self.nbr_mask[i, d] = True
+
+        # -- criterion-specific program ----------------------------------
+        if self.concurrent:
+            sources, targets = multiplexed_endpoints(
+                chip, len(criterion.assays)
+            )
+            self.legs: Tuple[Tuple[Hashable, Hashable], ...] = tuple(
+                zip(sources, targets)
+            )
+            self.requests = tuple(
+                RouteRequest(name=f"{analyte}:{i}", source=src, target=dst)
+                for i, (analyte, (src, dst)) in enumerate(
+                    zip(criterion.assays, self.legs)
+                )
+            )
+            self.leg_contents: Tuple[Dict[str, float], ...] = ()
+        else:
+            sites = routing_sites(chip)
+            self.legs = tuple(site_legs(sites))
+            self.requests = ()
+            assay = assay_by_analyte(criterion.assay)
+            lo, hi = assay.reference_range
+            self.leg_contents = (
+                {assay.analyte: (lo + hi) / 2.0},
+                dict(assay.reagent_contents),
+                {},
+            )
+
+        # Distinct functional sites; all alive => S3 eligibility.
+        site_coords = sorted({c for leg in self.legs for c in leg})
+        self.site_cols = np.asarray(
+            [index[c] for c in site_coords], dtype=np.int64
+        )
+        #: per-leg (src one-hot, dst one-hot) masks for the S3 BFS.
+        self.leg_nodes: List[Tuple[np.ndarray, np.ndarray]] = []
+        #: per-leg (src anchors, dst anchors) masks for the S4 bound.
+        self.leg_anchors: List[Tuple[np.ndarray, np.ndarray]] = []
+        for src, dst in self.legs:
+            pair_nodes = []
+            pair_anchors = []
+            for endpoint in (src, dst):
+                node = np.zeros(n, dtype=bool)
+                node[index[endpoint]] = True
+                pair_nodes.append(node)
+                anchor = node.copy()
+                if endpoint in needed_set:
+                    # The matching may remap a faulty needed endpoint to
+                    # any adjacent spare; an unneeded endpoint always
+                    # serves itself (dead when faulty).
+                    for spare in chip.adjacent_spares(endpoint):
+                        anchor[index[spare.coord]] = True
+                pair_anchors.append(anchor)
+            self.leg_nodes.append((pair_nodes[0], pair_nodes[1]))
+            self.leg_anchors.append((pair_anchors[0], pair_anchors[1]))
+
+        # -- fault-free baseline (the S2 verdict) -------------------------
+        chip0 = chip.copy()
+        chip0.clear_faults()
+        self.baseline_ok = self._evaluate_run(
+            chip0, CellRemap(chip0, RepairPlan({}, ()))
+        )
+
+        #: scratch chip for residue runs (health rewritten per run)
+        self._work_chip = chip.copy()
+
+    # -- residue: the definitional evaluator ------------------------------
+    def _evaluate_run(self, chip, remap) -> bool:
+        """Ground truth for one fault map: drive the real fluidics stack."""
+        try:
+            if self.concurrent:
+                plan = ConcurrentRouter(chip, remap).plan(list(self.requests))
+                return plan.makespan <= self.deadline
+            controller = ElectrodeController(chip, remap=remap)
+            ops: List[Operation] = []
+            for i, ((src, dst), contents) in enumerate(
+                zip(self.legs, self.leg_contents)
+            ):
+                handle = f"leg{i}"
+                ops.append(Dispense(handle, at=src, contents=dict(contents)))
+                ops.append(Transport(handle, to=dst))
+                ops.append(Discard(handle))
+            schedule = Scheduler(controller).run(ops)
+            return schedule.total_moves <= self.deadline
+        except (FluidicsError, ReconfigurationError):
+            return False
+
+    def _residue_run(self, row: np.ndarray) -> bool:
+        """Evaluate one undecided run from its survival row."""
+        chip = self._work_chip
+        coords = chip.coords
+        chip.clear_faults()
+        faulty_cols = np.flatnonzero(~row)
+        chip.apply_fault_map(coords[int(j)] for j in faulty_cols)
+        plan = plan_local_repair(chip, self.needed_coords)
+        if not plan.complete:  # unreachable: residue rows are matching-GOOD
+            return False
+        extras = tuple(
+            coords[int(j)]
+            for j in faulty_cols
+            if self.unneeded_primary_mask[j]
+        )
+        remap = CellRemap(
+            chip, RepairPlan(dict(plan.assignment), plan.unrepaired + extras)
+        )
+        return self._evaluate_run(chip, remap)
+
+    # -- the funnel --------------------------------------------------------
+    def evaluate(
+        self, alive: np.ndarray, verdict: np.ndarray
+    ) -> Tuple[np.ndarray, CriterionStats]:
+        n_runs = alive.shape[0]
+        stats = CriterionStats(runs=n_runs)
+        ok = np.zeros(n_runs, dtype=bool)
+
+        # 1. matching failed => no remap exists => criterion fails.
+        good = verdict == GOOD
+        stats.matching_fail = int(n_runs - good.sum())
+
+        # 2. spare-only faults => identity remap => baseline verdict.
+        faulty_primary = (~alive[:, self.primary_cols]).any(axis=1)
+        spare_only = good & ~faulty_primary
+        stats.spare_only = int(spare_only.sum())
+        ok[spare_only] = self.baseline_ok
+        undecided = good & faulty_primary
+
+        # 3. alive-primary route screen (sequential legs only).
+        if not self.concurrent and undecided.any():
+            rows = np.flatnonzero(
+                undecided & alive[:, self.site_cols].all(axis=1)
+            )
+            if rows.size:
+                sub = alive[rows]
+                allowed = sub & self.primary_mask
+                total = np.zeros(rows.size, dtype=np.int64)
+                feasible = np.ones(rows.size, dtype=bool)
+                for src_node, dst_node in self.leg_nodes:
+                    dist = _bfs_distances(
+                        allowed,
+                        np.broadcast_to(src_node, sub.shape),
+                        np.broadcast_to(dst_node, sub.shape),
+                        self.nbr_pos,
+                        self.nbr_mask,
+                    )
+                    feasible &= dist >= 0
+                    total += np.where(dist > 0, dist, 0)
+                clear = feasible & (total <= self.deadline)
+                cleared = rows[clear]
+                ok[cleared] = True
+                undecided[cleared] = False
+                stats.route_clear = int(clear.sum())
+
+        # 4. physical reachability / distance lower bound (exact fail).
+        if undecided.any():
+            rows = np.flatnonzero(undecided)
+            sub = alive[rows]
+            bound = np.zeros(rows.size, dtype=np.int64)
+            dead = np.zeros(rows.size, dtype=bool)
+            for src_anchor, dst_anchor in self.leg_anchors:
+                dist = _bfs_distances(
+                    sub,
+                    np.broadcast_to(src_anchor, sub.shape),
+                    np.broadcast_to(dst_anchor, sub.shape),
+                    self.nbr_pos,
+                    self.nbr_mask,
+                )
+                dead |= dist < 0
+                leg_bound = np.where(dist > 0, dist, 0)
+                if self.concurrent:
+                    # Concurrent makespan >= the slowest droplet's moves.
+                    bound = np.maximum(bound, leg_bound)
+                else:
+                    bound += leg_bound
+            fail = dead | (bound > self.deadline)
+            failed = rows[fail]
+            undecided[failed] = False
+            stats.unreachable = int(fail.sum())
+
+        # 5. residue: the real scheduler decides what's left.
+        rows = np.flatnonzero(undecided)
+        stats.residue = int(rows.size)
+        for r in rows:
+            got = self._residue_run(alive[r])
+            ok[r] = got
+            stats.residue_ok += int(got)
+        return ok, stats
+
+
+def context_for(
+    struct: RepairStructure, criterion: SuccessCriterion
+) -> _FunnelContext:
+    """The cached funnel context of one (structure, criterion) pair."""
+    per_struct = _CONTEXTS.get(struct)
+    if per_struct is None:
+        per_struct = {}
+        _CONTEXTS[struct] = per_struct
+    key = criterion.digest()
+    ctx = per_struct.get(key)
+    if ctx is None:
+        ctx = _FunnelContext(struct, criterion)
+        per_struct[key] = ctx
+    return ctx
+
+
+def evaluate_functional(
+    struct: RepairStructure,
+    criterion: SuccessCriterion,
+    alive: np.ndarray,
+    verdict: np.ndarray,
+) -> Tuple[np.ndarray, CriterionStats]:
+    """Funnel evaluation of one survival batch under one criterion."""
+    if alive.ndim != 2 or alive.shape[1] != struct.n_cells:
+        raise SimulationError(
+            f"survival matrix must be (runs, {struct.n_cells}), got {alive.shape}"
+        )
+    return context_for(struct, criterion).evaluate(alive, verdict)
+
+
+def criterion_successes(
+    struct: RepairStructure,
+    model: DefectModel,
+    criterion: SuccessCriterion,
+    runs: int,
+    seed: RngLike = None,
+    dtype: type = np.float32,
+) -> Tuple[int, ScreenStats, CriterionStats]:
+    """Functional successes among ``runs`` fault maps from a defect model.
+
+    The criterion twin of :func:`repro.yieldsim.kernel.model_successes`:
+    the sampling loop (generator, ~8 MB batches) is replicated exactly, so
+    a functional point consumes the *identical RNG stream* as the matching
+    point at equal (chip, model, runs, seed, dtype) — the property that
+    keeps serial == pool == sharded bit-identity for functional points.
+    Each batch is classified by the matching funnel, then decided by the
+    criterion funnel in cache-sized sub-slices.
+    """
+    if runs < 1:
+        raise SimulationError(f"runs must be >= 1, got {runs}")
+    criterion.validate(struct.n_cells)
+    rng = make_rng(seed)
+    geometry = struct.geometry
+    successes = 0
+    screen_total = ScreenStats()
+    crit_total = CriterionStats()
+    sub = max(1, _CLASSIFY_BYTES // max(1, struct.n_cells))
+    for size in survival_batch_sizes(runs, struct.n_cells):
+        alive = model.sample_batch(geometry, size, rng, dtype=dtype)
+        for start in range(0, alive.shape[0], sub):
+            rows = alive[start:start + sub]
+            verdict, stats = classify_repairable(struct, rows)
+            screen_total.merge(stats)
+            got, cstats = criterion.evaluate_batch(struct, rows, verdict)
+            successes += int(got.sum())
+            crit_total.merge(cstats)
+    return successes, screen_total, crit_total

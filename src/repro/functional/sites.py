@@ -1,0 +1,119 @@
+"""Deterministic functional-site placement on arbitrary chips.
+
+The functional criteria need named cells to route between — dispense
+ports, a mix site, detectors — but the sweeps build chips of every design
+and size, so sites cannot be hard-coded coordinates.  This module derives
+them from the chip itself: picks are primary cells spread across the
+chip's deterministic coordinate order (ports near the array's extremes,
+the mixer in the middle), chosen greedily so that any two sites are at
+least ``min_distance`` apart in the physical adjacency graph.
+
+Spacing matters twice: the concurrent router rejects endpoint pairs whose
+droplets would violate the static spacing constraint, and a repair remap
+can shift a site's *physical* image to an adjacent spare.  A graph
+distance of >= 4 between picks keeps every image pair non-adjacent under
+any local remap (images move by at most one cell each), so multiplexed
+endpoint sets never become invalid merely because a repair happened.
+
+Everything here is a pure function of the chip's structure (roles and
+adjacency, never health), so site placement — and therefore criterion
+results — is reproducible across processes and sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Set, Tuple
+
+from repro.chip.biochip import Biochip
+from repro.errors import CriterionError
+
+__all__ = ["spread_primary_sites", "routing_sites", "multiplexed_endpoints"]
+
+
+def _ball(chip: Biochip, center: Hashable, radius: int) -> Set[Hashable]:
+    """All cells within graph distance ``radius`` of ``center``."""
+    seen = {center}
+    frontier = [center]
+    for _ in range(radius):
+        nxt: List[Hashable] = []
+        for coord in frontier:
+            for nbr in chip.neighbors(coord):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    nxt.append(nbr)
+        frontier = nxt
+    return seen
+
+
+def spread_primary_sites(
+    chip: Biochip, count: int, min_distance: int = 2
+) -> Tuple[Hashable, ...]:
+    """``count`` primary cells spread across the chip, pairwise separated.
+
+    Pick ``i`` targets the primary at index fraction ``i/(count-1)`` of
+    the chip's sorted primary order and probes outward from there for the
+    nearest primary at graph distance >= ``min_distance`` from every
+    earlier pick.  Deterministic for a given chip structure.
+    """
+    if count < 1:
+        raise CriterionError(f"need >= 1 functional site, got {count}")
+    primaries = [cell.coord for cell in chip.primaries()]
+    n = len(primaries)
+    if n < count:
+        raise CriterionError(
+            f"chip {chip.name!r} has {n} primaries; "
+            f"cannot place {count} functional sites"
+        )
+    picks: List[Hashable] = []
+    too_close: Set[Hashable] = set()
+    for i in range(count):
+        target = round(i * (n - 1) / max(count - 1, 1))
+        chosen = None
+        for off in range(n):
+            for idx in (target + off, target - off):
+                if 0 <= idx < n and primaries[idx] not in too_close:
+                    chosen = primaries[idx]
+                    break
+            if chosen is not None:
+                break
+        if chosen is None:
+            raise CriterionError(
+                f"chip {chip.name!r} cannot host {count} functional sites "
+                f"at pairwise graph distance >= {min_distance}"
+            )
+        picks.append(chosen)
+        too_close |= _ball(chip, chosen, min_distance - 1)
+    return tuple(picks)
+
+
+def routing_sites(chip: Biochip) -> Tuple[Hashable, Hashable, Hashable, Hashable]:
+    """(sample port, mix site, detector, reagent port) for one chip.
+
+    Four spread primaries: ports at the array extremes, the mixer and
+    detector in between, so the assay's three legs cross the array.
+    """
+    sample, mixer, detector, reagent = spread_primary_sites(
+        chip, 4, min_distance=2
+    )
+    return sample, mixer, detector, reagent
+
+
+def multiplexed_endpoints(
+    chip: Biochip, k: int
+) -> Tuple[Tuple[Hashable, ...], Tuple[Hashable, ...]]:
+    """(sources, targets) for ``k`` concurrent routes on one chip.
+
+    ``2k`` spread primaries at graph distance >= 4 (safe under any local
+    remap, see the module docstring); the first half are sources, the
+    second half — reversed, so route ``i`` crosses the array — targets.
+    """
+    picks = spread_primary_sites(chip, 2 * k, min_distance=4)
+    return picks[:k], tuple(reversed(picks[k:]))
+
+
+def site_legs(
+    sites: Tuple[Hashable, Hashable, Hashable, Hashable]
+) -> Sequence[Tuple[Hashable, Hashable]]:
+    """The (src, dst) legs of the single-assay route program."""
+    sample, mixer, detector, reagent = sites
+    return ((sample, mixer), (reagent, mixer), (mixer, detector))

@@ -164,15 +164,26 @@ class ReproServer:
                 f"({self.config.max_runs})"
             )
         chip, digest = self._chip_for(request)
+        criterion = None
+        if request.criterion is not None:
+            from repro.functional import criterion_from_spec
+
+            criterion = criterion_from_spec(request.criterion)
         if request.defect_model is not None:
             family = family_from_spec(request.defect_model)
             model = family(chip, request.param)
             spec = PointSpec.from_model(
                 model, request.runs, request.seed, param=request.param
             )
+            if criterion is not None:
+                spec = PointSpec(
+                    spec.kind, spec.param, spec.runs, spec.seed, spec.model,
+                    criterion,
+                )
         else:
             spec = PointSpec(
-                request.kind, request.param, request.runs, request.seed
+                request.kind, request.param, request.runs, request.seed,
+                criterion=criterion,
             )
         task = EnginePoint(chip, spec, None, request.stop_rule())
         task.spec.validate(len(chip))
@@ -215,6 +226,22 @@ class ReproServer:
                     f"{experiment.name} does not accept defect_model "
                     "(its fault regime is part of the experiment definition)"
                 )
+            criterion = None
+            if request.criterion is not None:
+                from repro.functional import criterion_from_spec
+
+                criterion = criterion_from_spec(request.criterion)
+                if not experiment.criterion_knob:
+                    raise ServeError(
+                        f"{experiment.name} does not accept criterion "
+                        "(its success predicate is part of the experiment "
+                        "definition)"
+                    )
+            knobs: Dict[str, object] = {}
+            if model is not None:
+                knobs["model"] = model
+            if criterion is not None:
+                knobs["criterion"] = criterion
             with self._compute_lock:
                 result = registry.execute(
                     experiment,
@@ -225,7 +252,7 @@ class ReproServer:
                         "adaptive": bool(request.adaptive or request.target_ci),
                         "target_ci": request.target_ci,
                     },
-                    knobs={"model": model} if model is not None else None,
+                    knobs=knobs or None,
                 )
             payload = bundle_payload(result)
             payload["schema"] = PROTOCOL_SCHEMA
@@ -261,6 +288,7 @@ class ReproServer:
         coalesced: bool,
     ) -> Dict[str, object]:
         lo, hi = estimate.interval
+        criterion = task.spec.criterion
         return {
             "schema": PROTOCOL_SCHEMA,
             "key": key,
@@ -271,6 +299,10 @@ class ReproServer:
             "param": request.param,
             "seed": request.seed,
             "defect_model": request.defect_model,
+            "criterion": criterion.spec() if criterion is not None else None,
+            "criterion_digest": (
+                criterion.digest() if criterion is not None else None
+            ),
             "adaptive": task.stop is not None,
             "runs_requested": task.spec.runs,
             "successes": estimate.successes,

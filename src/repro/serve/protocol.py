@@ -74,10 +74,11 @@ class PointRequest:
     include it, so a client can switch to digest addressing after its
     first request).  ``kind``/``param`` pick the fault regime exactly as
     :class:`~repro.yieldsim.kernel.PointSpec` does; ``defect_model`` is
-    the CLI's ``NAME[:k=v,...]`` family syntax.  ``adaptive`` opts into
-    the default registered stop rule, re-targeted by ``target_ci``;
-    ``stream`` asks for NDJSON per-fold progress instead of a single JSON
-    body.
+    the CLI's ``NAME[:k=v,...]`` family syntax, and ``criterion`` the
+    CLI's success-criterion syntax (``routing:assay=glucose,deadline=200``
+    — see :mod:`repro.functional`).  ``adaptive`` opts into the default
+    registered stop rule, re-targeted by ``target_ci``; ``stream`` asks
+    for NDJSON per-fold progress instead of a single JSON body.
     """
 
     kind: str
@@ -88,6 +89,7 @@ class PointRequest:
     n: Optional[int] = None
     chip_digest: Optional[str] = None
     defect_model: Optional[str] = None
+    criterion: Optional[str] = None
     adaptive: bool = False
     target_ci: Optional[float] = None
     stream: bool = False
@@ -98,7 +100,7 @@ class PointRequest:
             raise ServeError("point request body must be a JSON object")
         known = {
             "kind", "param", "runs", "seed", "design", "n", "chip_digest",
-            "defect_model", "adaptive", "target_ci", "stream",
+            "defect_model", "criterion", "adaptive", "target_ci", "stream",
         }
         unknown = set(data) - known
         if unknown:
@@ -117,6 +119,7 @@ class PointRequest:
             n=None if data.get("n") is None else _as_int(data["n"], "n"),
             chip_digest=_as_optional_str(data.get("chip_digest"), "chip_digest"),
             defect_model=_as_optional_str(data.get("defect_model"), "defect_model"),
+            criterion=_as_optional_str(data.get("criterion"), "criterion"),
             adaptive=bool(data.get("adaptive", False)),
             target_ci=(
                 None if data.get("target_ci") is None
@@ -162,9 +165,9 @@ class BundleRequest:
     """``POST /experiments/{name}``: one full experiment run.
 
     Mirrors the CLI knobs of ``repro <name>``: budget, seed, adaptive
-    stop, defect-model family.  The response is the bundle
-    :func:`repro.experiments.artifacts.bundle_payload` builds — the same
-    rows/report/digest ``repro <name> --out`` would write.
+    stop, defect-model family, success criterion.  The response is the
+    bundle :func:`repro.experiments.artifacts.bundle_payload` builds —
+    the same rows/report/digest ``repro <name> --out`` would write.
     """
 
     experiment: str
@@ -173,6 +176,7 @@ class BundleRequest:
     adaptive: bool = False
     target_ci: Optional[float] = None
     defect_model: Optional[str] = None
+    criterion: Optional[str] = None
 
     @classmethod
     def from_dict(
@@ -180,7 +184,10 @@ class BundleRequest:
     ) -> "BundleRequest":
         if not isinstance(data, Mapping):
             raise ServeError("experiment request body must be a JSON object")
-        known = {"runs", "seed", "adaptive", "target_ci", "defect_model"}
+        known = {
+            "runs", "seed", "adaptive", "target_ci", "defect_model",
+            "criterion",
+        }
         unknown = set(data) - known
         if unknown:
             raise ServeError(
@@ -196,6 +203,7 @@ class BundleRequest:
                 else _as_number(data["target_ci"], "target_ci")
             ),
             defect_model=_as_optional_str(data.get("defect_model"), "defect_model"),
+            criterion=_as_optional_str(data.get("criterion"), "criterion"),
         )
         if request.runs < 1:
             raise ServeError(f"runs must be >= 1, got {request.runs}")
@@ -207,7 +215,7 @@ class BundleRequest:
 
     def identity(self) -> Dict[str, object]:
         """The canonical fields coalescing keys are digested from."""
-        return {
+        identity: Dict[str, object] = {
             "experiment": self.experiment,
             "runs": self.runs,
             "seed": self.seed,
@@ -215,6 +223,11 @@ class BundleRequest:
             "target_ci": self.target_ci,
             "defect_model": self.defect_model,
         }
+        if self.criterion is not None:
+            # Conditional, like the engine's cache-key field: default
+            # matching requests keep their historical coalescing keys.
+            identity["criterion"] = self.criterion
+        return identity
 
 
 def experiment_listing() -> Dict[str, object]:

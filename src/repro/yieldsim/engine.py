@@ -145,7 +145,13 @@ class PointRecord:
     ``model``/``model_digest`` name the explicit defect model of a
     ``"model"``-kind point (None for the legacy i.i.d./fixed regimes), so
     provenance consumers can attribute every Monte-Carlo run to the
-    distribution that produced it.
+    distribution that produced it.  ``criterion``/``criterion_digest``
+    do the same for the success predicate of functional-yield points, and
+    ``funnel`` carries that point's criterion-funnel counters (where each
+    run was decided: screens vs scheduler residue) when the point was
+    actually computed — cache hits have no telemetry to report.  All
+    three stay ``None`` for default matching points, so legacy records
+    and their serialized form are unchanged.
     """
 
     kind: str
@@ -155,9 +161,12 @@ class PointRecord:
     adaptive: bool
     model: Optional[str] = None
     model_digest: Optional[str] = None
+    criterion: Optional[str] = None
+    criterion_digest: Optional[str] = None
+    funnel: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind,
             "param": self.param,
             "requested": self.requested,
@@ -166,6 +175,12 @@ class PointRecord:
             "model": self.model,
             "model_digest": self.model_digest,
         }
+        if self.criterion is not None:
+            out["criterion"] = self.criterion
+            out["criterion_digest"] = self.criterion_digest
+            if self.funnel is not None:
+                out["funnel"] = dict(self.funnel)
+        return out
 
 
 class SweepEngine:
@@ -273,17 +288,20 @@ class SweepEngine:
         as per-fold NDJSON progress.
         """
         executor = self.executor if self.executor is not None else default_executor(self.jobs)
+        crit_out: List[Optional[Dict[str, int]]] = [None] * len(tasks)
         raw = self.scheduler.run(
             tasks,
             executor,
             progress=self.progress,
             on_fold=on_fold,
             stats=self.screen_stats,
+            crit_out=crit_out,
         )
         estimates: List[YieldEstimate] = []
-        for task, (got, trials) in zip(tasks, raw):
+        for task, (got, trials), crit in zip(tasks, raw, crit_out):
             self.runs_requested += task.spec.runs
             self.runs_effective += trials
+            criterion = task.spec.criterion
             self.point_log.append(
                 PointRecord(
                     kind=task.spec.kind,
@@ -295,6 +313,11 @@ class SweepEngine:
                     model_digest=(
                         task.spec.model.digest() if task.spec.model else None
                     ),
+                    criterion=criterion.spec() if criterion is not None else None,
+                    criterion_digest=(
+                        criterion.digest() if criterion is not None else None
+                    ),
+                    funnel=crit,
                 )
             )
             estimates.append(YieldEstimate(successes=got, trials=trials))
@@ -308,11 +331,22 @@ class SweepEngine:
         runs: int,
         needed: Optional[Iterable[Hashable]] = None,
         stop: Optional[StopRule] = None,
+        criterion: Optional[object] = None,
     ) -> List[YieldEstimate]:
-        """Survival-regime estimates for ``(p, seed)`` pairs on one chip."""
+        """Survival-regime estimates for ``(p, seed)`` pairs on one chip.
+
+        ``criterion`` optionally replaces the matching success predicate
+        with a functional one (see :mod:`repro.functional`); ``None``
+        keeps the historical matching streams byte for byte.
+        """
         needed_t = tuple(sorted(set(needed))) if needed is not None else None
         tasks = [
-            EnginePoint(chip, PointSpec("survival", p, runs, seed), needed_t, stop)
+            EnginePoint(
+                chip,
+                PointSpec("survival", p, runs, seed, criterion=criterion),
+                needed_t,
+                stop,
+            )
             for p, seed in points
         ]
         return self.run_points(tasks)

@@ -675,6 +675,13 @@ class PointSpec:
     owns its own generator, so results never depend on which other points
     are computed alongside it — the contract that makes sweep sharding
     bit-stable.
+
+    ``criterion`` optionally replaces the success predicate: instead of
+    counting matching-GOOD runs, the point counts runs accepted by a
+    :class:`repro.functional.SuccessCriterion` (duck-typed here so the
+    kernel never imports the functional layer).  ``None`` — the default —
+    is the paper's matching verdict, byte-identical to historical
+    streams.
     """
 
     kind: str
@@ -682,6 +689,7 @@ class PointSpec:
     runs: int
     seed: object = None
     model: Optional[DefectModel] = None
+    criterion: Optional[object] = None
 
     @classmethod
     def from_model(
@@ -720,6 +728,8 @@ class PointSpec:
             self.model.validate(n_cells)
         else:
             raise SimulationError(f"unknown point kind {self.kind!r}")
+        if self.criterion is not None:
+            self.criterion.validate(n_cells)
 
 
 def point_model(spec: PointSpec) -> DefectModel:

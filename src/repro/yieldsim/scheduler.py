@@ -170,11 +170,41 @@ def compute_chunk(
     payload: Dict[str, object],
     points: Sequence[PointSpec],
     dtype_name: str,
-) -> Tuple[List[int], Dict[str, int]]:
-    """Compute one chunk of flat points (the executor's unit function)."""
+) -> Tuple[List[int], Dict[str, int], List[Optional[Dict[str, int]]]]:
+    """Compute one chunk of flat points (the executor's unit function).
+
+    Returns per-point success counts, the chunk's merged screen-stat
+    counters, and — per point — the criterion funnel counters (``None``
+    for default matching points).  Chunks with no criterion anywhere run
+    through :func:`~repro.yieldsim.kernel.simulate_points` exactly as
+    before, so legacy streams stay byte-identical.
+    """
     struct = _structure_for(digest, payload)
-    successes, stats = simulate_points(struct, points, dtype=np.dtype(dtype_name).type)
-    return successes, stats.as_dict()
+    dtype = np.dtype(dtype_name).type
+    if all(point.criterion is None for point in points):
+        successes, stats = simulate_points(struct, points, dtype=dtype)
+        return successes, stats.as_dict(), [None] * len(points)
+    from repro.functional.funnel import criterion_successes
+
+    successes = []
+    crits: List[Optional[Dict[str, int]]] = []
+    stats = ScreenStats()
+    for point in points:
+        point.validate(struct.n_cells)
+        if point.criterion is None:
+            got, point_stats = model_successes(
+                struct, point_model(point), point.runs, point.seed, dtype=dtype
+            )
+            crits.append(None)
+        else:
+            got, point_stats, crit = criterion_successes(
+                struct, point_model(point), point.criterion,
+                point.runs, point.seed, dtype=dtype,
+            )
+            crits.append(crit.wire_dict())
+        successes.append(got)
+        stats.merge(point_stats)
+    return successes, stats.as_dict(), crits
 
 
 def compute_shard(
@@ -191,14 +221,26 @@ def compute_shard(
     The shard's stream is fully determined by ``(entropy, index)`` via
     :func:`~repro.yieldsim.kernel.shard_seed`, so any worker — or the
     calling process — computes the identical batch.  The point's defect
-    model (explicit, or the legacy-kind alias) travels inside ``spec``.
+    model (explicit, or the legacy-kind alias) travels inside ``spec`` —
+    as does its optional success criterion, whose funnel counters ride
+    the returned stat dict under ``crit_``-prefixed keys (both readers
+    filter to their own key families, so the flat dict stays collision
+    free).
     """
     struct = _structure_for(digest, payload)
     rng = np.random.default_rng(shard_seed(entropy, index))
-    got, stats = model_successes(
-        struct, point_model(spec), size, seed=rng, dtype=np.dtype(dtype_name).type
+    dtype = np.dtype(dtype_name).type
+    if spec.criterion is None:
+        got, stats = model_successes(
+            struct, point_model(spec), size, seed=rng, dtype=dtype
+        )
+        return got, stats.as_dict()
+    from repro.functional.funnel import criterion_successes
+
+    got, stats, crit = criterion_successes(
+        struct, point_model(spec), spec.criterion, size, seed=rng, dtype=dtype
     )
-    return got, stats.as_dict()
+    return got, {**stats.as_dict(), **crit.wire_dict()}
 
 
 # -- scheduling inputs --------------------------------------------------------
@@ -269,6 +311,11 @@ class PointCache:
             # at equal severity (or a model point and a legacy point at
             # the same p) can never collide in the cache.
             ident["defect_model"] = spec.model.digest()
+        if spec.criterion is not None:
+            # Same pattern for the success predicate: criterion points key
+            # by content digest, and default matching points omit the field
+            # entirely, so historical cache entries stay valid.
+            ident["criterion"] = spec.criterion.digest()
         if batch is not None:
             # Batched points live under a distinct key family: the batch
             # size defines the RNG stream and the stop-rule digest defines
@@ -409,6 +456,7 @@ class PointScheduler:
         progress: Optional[Callable[[int, int], None]] = None,
         on_fold: Optional[FoldHook] = None,
         stats: Optional[ScreenStats] = None,
+        crit_out: Optional[List[Optional[Dict[str, int]]]] = None,
     ) -> List[Tuple[int, int]]:
         """``(successes, effective trials)`` for every task, in order.
 
@@ -419,6 +467,13 @@ class PointScheduler:
         cumulative successes/trials — which is what the serving layer
         streams as NDJSON progress.  Screen statistics of folded units
         are merged into ``stats``.
+
+        ``crit_out``, when given, must have one ``None`` slot per task;
+        slots of computed criterion points are filled with that point's
+        criterion-funnel counters (plain-keyed dict).  Cache hits leave
+        their slot ``None`` — the cache stores results, not telemetry —
+        and only in-order folds count for batched points, so the counters
+        are executor-independent like everything else.
         """
         n = len(tasks)
         results: List[Optional[Tuple[int, int]]] = [None] * n
@@ -470,11 +525,16 @@ class PointScheduler:
             chunks[-1][1].append(i)
 
         def record(chunk_indices: List[int], successes: List[int],
-                   chunk_stats: Dict[str, int]) -> None:
+                   chunk_stats: Dict[str, int],
+                   chunk_crits: List[Optional[Dict[str, int]]]) -> None:
             nonlocal done
-            for idx, got in zip(chunk_indices, successes):
+            for idx, got, crit in zip(chunk_indices, successes, chunk_crits):
                 results[idx] = (got, tasks[idx].spec.runs)
                 self.cache.store(keys[idx], tasks[idx].spec, got, tasks[idx].spec.runs)
+                if crit is not None and crit_out is not None:
+                    from repro.functional.criteria import CriterionStats
+
+                    crit_out[idx] = CriterionStats.from_wire(crit).as_dict()
             stats.merge(ScreenStats.from_dict(chunk_stats))
             done += len(chunk_indices)
             if progress is not None:
@@ -507,8 +567,8 @@ class PointScheduler:
                 if not inflight:
                     break
                 for fut in executor.wait_any(set(inflight)):
-                    successes, chunk_stats = fut.result()
-                    record(inflight.pop(fut), successes, chunk_stats)
+                    successes, chunk_stats, chunk_crits = fut.result()
+                    record(inflight.pop(fut), successes, chunk_stats, chunk_crits)
 
             def on_point(i: int, got: int, trials: int) -> None:
                 nonlocal done
@@ -524,7 +584,7 @@ class PointScheduler:
             if pending_batched:
                 self._run_batched(
                     tasks, pending_batched, plans, digests, payload_by_digest,
-                    executor, on_point, on_fold, stats,
+                    executor, on_point, on_fold, stats, crit_out,
                 )
         finally:
             executor.shutdown()
@@ -542,6 +602,7 @@ class PointScheduler:
         on_point: Callable[[int, int, int], None],
         on_fold: Optional[FoldHook],
         stats: ScreenStats,
+        crit_out: Optional[List[Optional[Dict[str, int]]]] = None,
     ) -> None:
         """Run the batched points; calls ``on_point(i, successes, trials)``
         as each completes.
@@ -566,6 +627,15 @@ class PointScheduler:
         successes = {i: 0 for i in indices}
         trials = {i: 0 for i in indices}
         complete: set = set()
+        crit_acc: Dict[int, object] = {}
+        if any(tasks[i].spec.criterion is not None for i in indices):
+            from repro.functional.criteria import CriterionStats
+
+            crit_acc = {
+                i: CriterionStats()
+                for i in indices
+                if tasks[i].spec.criterion is not None
+            }
 
         def unit_stream():
             for i in indices:
@@ -603,6 +673,13 @@ class PointScheduler:
                 while (i, next_fold[i]) in ready and i not in complete:
                     got, shard_stats = ready.pop((i, next_fold[i]))
                     stats.merge(ScreenStats.from_dict(shard_stats))
+                    if i in crit_acc:
+                        # Only in-order folds count: speculative shards of
+                        # stopped points are discarded below, so criterion
+                        # telemetry stays executor-independent too.
+                        from repro.functional.criteria import CriterionStats
+
+                        crit_acc[i].merge(CriterionStats.from_wire(shard_stats))
                     successes[i] += got
                     trials[i] += plans[i][next_fold[i]]
                     next_fold[i] += 1
@@ -613,6 +690,8 @@ class PointScheduler:
                     )
                     if stopped or next_fold[i] == len(plans[i]):
                         complete.add(i)
+                        if i in crit_acc and crit_out is not None:
+                            crit_out[i] = crit_acc[i].as_dict()
                         on_point(i, successes[i], trials[i])
             # Drop speculative results (and cancel queued batches) of
             # points that have since completed.

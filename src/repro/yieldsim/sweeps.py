@@ -121,6 +121,7 @@ def survival_sweep(
     engine: Optional[SweepEngine] = None,
     stop: Optional[StopRule] = None,
     model: Optional[ModelFamilyLike] = None,
+    criterion: Optional[object] = None,
 ) -> List[SurvivalPoint]:
     """Monte-Carlo yield of each design at each (n, p) — Figure 9's data.
 
@@ -141,6 +142,12 @@ def survival_sweep(
     i.i.d.-Bernoulli regime at every point, with p staying the sweep's
     severity axis.  The default (``None``) is bit-identical to the
     historical i.i.d. sweep.
+
+    ``criterion`` swaps the success predicate: a
+    :class:`repro.functional.SuccessCriterion` replaces the matching
+    verdict at every point (same fault maps, same RNG streams — only what
+    counts as a success changes).  The default (``None``) keeps the
+    matching predicate and its historical cache keys.
     """
     engine = engine or default_engine()
     meta: List[Tuple[DesignSpec, int, float]] = []
@@ -158,7 +165,11 @@ def survival_sweep(
     # shard chunks, and all chips' points load-balance across workers.
     if model is None:
         tasks = [
-            EnginePoint(chip, PointSpec("survival", p, runs, pseed), stop=stop)
+            EnginePoint(
+                chip,
+                PointSpec("survival", p, runs, pseed, criterion=criterion),
+                stop=stop,
+            )
             for chip, p, pseed in point_args
         ]
         model_names: List[Optional[str]] = [None] * len(point_args)
@@ -167,13 +178,13 @@ def survival_sweep(
         model_names = []
         for chip, p, pseed in point_args:
             instance = model(chip, p)
-            tasks.append(
-                EnginePoint(
-                    chip,
-                    PointSpec.from_model(instance, runs, pseed, param=p),
-                    stop=stop,
+            spec_point = PointSpec.from_model(instance, runs, pseed, param=p)
+            if criterion is not None:
+                spec_point = PointSpec(
+                    spec_point.kind, spec_point.param, spec_point.runs,
+                    spec_point.seed, spec_point.model, criterion,
                 )
-            )
+            tasks.append(EnginePoint(chip, spec_point, stop=stop))
             model_names.append(instance.name)
     estimates = engine.run_points(tasks)
 

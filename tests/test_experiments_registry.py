@@ -37,6 +37,9 @@ TINY_KNOBS = {
     "fig7-clustered": {"n": 60, "ps": (0.92, 1.0)},
     "fig9-clustered": {"ns": [60], "ps": (0.92, 1.0)},
     "scenario-gradient": {"n": 60, "ps": (0.92, 0.99)},
+    "fig7-functional": {"n": 60, "ps": (0.92, 1.0)},
+    "fig9-functional": {"ns": [60], "ps": (0.92, 1.0)},
+    "scenario-multiplexed": {"ps": (0.93, 0.99)},
 }
 
 
@@ -85,6 +88,9 @@ class TestRegistry:
             "fig7-clustered",
             "fig9-clustered",
             "scenario-gradient",
+            "fig7-functional",
+            "fig9-functional",
+            "scenario-multiplexed",
         ]
 
     def test_alias_resolves(self):

@@ -1,0 +1,443 @@
+"""Functional-yield subsystem: funnel exactness, bit-identity, cache keys.
+
+The contracts under test, in order of importance:
+
+* the screen funnel is *exact* — its verdicts equal brute-force
+  evaluation of every run through the real fluidics stack;
+* a functional point consumes the identical RNG stream as a matching
+  point, so serial == pool == sharded bit-identity extends to criterion
+  points (flat and adaptive);
+* criteria are content-addressed: no cache-key collisions between
+  criteria (or against the default matching regime) at equal severity;
+* default matching dispatches serialize exactly as before the subsystem
+  existed (no criterion fields, no criteria provenance).
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.designs.catalog import DTMB_2_6, DTMB_3_6, DTMB_4_4
+from repro.designs.interstitial import build_with_primary_count
+from repro.errors import CriterionError
+from repro.faults.injection import make_rng
+from repro.functional import (
+    MatchingCriterion,
+    MultiplexedCriterion,
+    RoutingCriterion,
+    criterion_from_spec,
+    criterion_successes,
+    evaluate_functional,
+)
+from repro.functional.funnel import context_for
+from repro.yieldsim.defects import IIDBernoulli
+from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.kernel import (
+    GOOD,
+    PointSpec,
+    RepairStructure,
+    model_successes,
+)
+from repro.yieldsim.scheduler import EnginePoint
+from repro.yieldsim.stats import StopRule
+
+
+def _chip(spec, n):
+    return build_with_primary_count(spec, n).build()
+
+
+# -- spec parsing and digests -------------------------------------------------
+
+def test_criterion_spec_roundtrip():
+    crit = criterion_from_spec("routing:assay=glucose,deadline=150")
+    assert isinstance(crit, RoutingCriterion)
+    assert crit.assay == "glucose"
+    assert crit.deadline == 150
+    assert crit.spec() == "routing:assay=glucose,deadline=150"
+    assert criterion_from_spec(crit.spec()).digest() == crit.digest()
+
+    mult = criterion_from_spec("multiplexed:assays=glucose+lactate,deadline=30")
+    assert isinstance(mult, MultiplexedCriterion)
+    assert mult.assays == ("glucose", "lactate")
+
+    assert isinstance(criterion_from_spec("matching"), MatchingCriterion)
+
+
+def test_criterion_spec_errors():
+    with pytest.raises(CriterionError):
+        criterion_from_spec("bogus")
+    with pytest.raises(CriterionError):
+        criterion_from_spec("routing:nope=1")
+    with pytest.raises(CriterionError):
+        criterion_from_spec("routing:deadline=0")
+
+
+def test_criterion_digests_distinct():
+    digests = {
+        MatchingCriterion().digest(),
+        RoutingCriterion().digest(),
+        RoutingCriterion(deadline=100).digest(),
+        RoutingCriterion(assay="lactate").digest(),
+        MultiplexedCriterion().digest(),
+        MultiplexedCriterion(deadline=30).digest(),
+    }
+    assert len(digests) == 6
+
+
+# -- matching criterion: bit-identical to the kernel --------------------------
+
+def test_matching_criterion_equals_kernel():
+    struct = RepairStructure(_chip(DTMB_2_6, 60))
+    model = IIDBernoulli(0.93)
+    base, base_stats = model_successes(struct, model, 500, seed=123)
+    got, stats, crit = criterion_successes(
+        struct, model, MatchingCriterion(), 500, seed=123
+    )
+    assert got == base
+    assert stats.as_dict() == base_stats.as_dict()
+    assert crit.runs == 500
+    assert crit.matching_fail == 500 - base
+    assert crit.residue == 0  # matching never pays the scheduler
+
+
+# -- the funnel is exact ------------------------------------------------------
+
+def _reference_success(ctx, row, verdict):
+    """Brute force: skip every screen, drive the scheduler for any run
+    the matching kernel calls repairable."""
+    if verdict != GOOD:
+        return False
+    return ctx._residue_run(row)
+
+
+@pytest.mark.parametrize(
+    "spec,n,criterion",
+    [
+        (DTMB_2_6, 60, RoutingCriterion(deadline=200)),
+        (DTMB_3_6, 60, RoutingCriterion(deadline=200)),
+        (DTMB_3_6, 60, RoutingCriterion(deadline=18)),
+        (DTMB_4_4, 24, RoutingCriterion(deadline=200)),
+        (DTMB_3_6, 60, MultiplexedCriterion(deadline=14)),
+    ],
+)
+def test_funnel_matches_full_scheduler(spec, n, criterion):
+    """Every screen verdict must agree with full scheduler evaluation."""
+    struct = RepairStructure(_chip(spec, n))
+    ctx = context_for(struct, criterion)
+    rng = make_rng(7)
+    for p in (0.88, 0.97):
+        alive = IIDBernoulli(p).sample_batch(struct.geometry, 60, rng)
+        from repro.yieldsim.kernel import classify_repairable
+
+        verdict, _ = classify_repairable(struct, alive)
+        ok, stats = evaluate_functional(struct, criterion, alive, verdict)
+        expected = np.array(
+            [
+                _reference_success(ctx, alive[r], verdict[r])
+                for r in range(alive.shape[0])
+            ]
+        )
+        assert (ok == expected).all()
+        decided = (
+            stats.matching_fail + stats.spare_only + stats.route_clear
+            + stats.unreachable + stats.residue
+        )
+        assert decided == stats.runs == 60
+
+
+def test_dtmb44_functional_collapse():
+    """DTMB(4,4)'s spare lattice disconnects the primary fabric: the
+    assay cannot run even on a fault-free chip, so functional yield is
+    zero while matching yield is near one."""
+    struct = RepairStructure(_chip(DTMB_4_4, 60))
+    ctx = context_for(struct, RoutingCriterion())
+    assert not ctx.baseline_ok
+    got, _, crit = criterion_successes(
+        struct, IIDBernoulli(0.99), RoutingCriterion(), 200, seed=5
+    )
+    assert got == 0
+    assert crit.matching_fail < 200  # matching finds repairs; routing fails
+
+
+# -- engine bit-identity ------------------------------------------------------
+
+def _tasks(chip, criterion, runs=400, stop=None):
+    return [
+        EnginePoint(
+            chip,
+            PointSpec("survival", p, runs, seed, criterion=criterion),
+            stop=stop,
+        )
+        for p, seed in ((0.92, 11), (0.96, 12))
+    ]
+
+
+def test_functional_points_serial_pool_shard_identical(tmp_path):
+    chip = _chip(DTMB_2_6, 60)
+    criterion = RoutingCriterion(deadline=200)
+    serial = SweepEngine().run_points(_tasks(chip, criterion))
+    pooled = SweepEngine(jobs=2).run_points(_tasks(chip, criterion))
+    cached = SweepEngine(cache_dir=str(tmp_path / "cache"))
+    first = cached.run_points(_tasks(chip, criterion))
+    again = cached.run_points(_tasks(chip, criterion))
+    for estimates in (pooled, first, again):
+        assert [
+            (e.successes, e.trials) for e in estimates
+        ] == [(e.successes, e.trials) for e in serial]
+    assert cached.cache_hits == 2
+    # Sharded streams differ from the flat stream by design (spawned
+    # sub-seeds), but are identical across job counts at a fixed batch.
+    shard1 = SweepEngine(shard_runs=100).run_points(_tasks(chip, criterion))
+    shard2 = SweepEngine(jobs=2, shard_runs=100).run_points(
+        _tasks(chip, criterion)
+    )
+    assert [(e.successes, e.trials) for e in shard1] == [
+        (e.successes, e.trials) for e in shard2
+    ]
+
+
+def test_functional_points_adaptive_identity():
+    chip = _chip(DTMB_2_6, 60)
+    criterion = RoutingCriterion(deadline=200)
+    stop = StopRule(target_half_width=0.05, min_runs=100, batch_runs=100)
+    serial = SweepEngine().run_points(_tasks(chip, criterion, stop=stop))
+    sharded = SweepEngine(jobs=2, shard_runs=100).run_points(
+        _tasks(chip, criterion, stop=stop)
+    )
+    assert [(e.successes, e.trials) for e in serial] == [
+        (e.successes, e.trials) for e in sharded
+    ]
+
+
+def test_functional_equals_matching_stream():
+    """Same seeds, different predicate: the criterion point judges the
+    identical fault maps, so functional successes never exceed matching
+    successes run for run."""
+    chip = _chip(DTMB_3_6, 60)
+    engine = SweepEngine()
+    base = engine.run_points(_tasks(chip, None, runs=300))
+    func = engine.run_points(
+        _tasks(chip, RoutingCriterion(deadline=200), runs=300)
+    )
+    for b, f in zip(base, func):
+        assert f.successes <= b.successes
+        assert f.trials == b.trials
+
+
+# -- cache keys ---------------------------------------------------------------
+
+def test_cache_keys_distinct_across_criteria():
+    chip = _chip(DTMB_2_6, 60)
+    engine = SweepEngine()
+
+    def key(criterion):
+        return engine.point_key(
+            EnginePoint(
+                chip, PointSpec("survival", 0.95, 1000, 42, criterion=criterion)
+            )
+        )
+
+    keys = [
+        key(None),
+        key(MatchingCriterion()),
+        key(RoutingCriterion()),
+        key(RoutingCriterion(deadline=100)),
+        key(MultiplexedCriterion()),
+    ]
+    assert len(set(keys)) == len(keys)
+    # Content addressing: an equal-content criterion reuses the key.
+    assert key(RoutingCriterion()) == key(
+        criterion_from_spec("routing:assay=glucose,deadline=200")
+    )
+
+
+# -- telemetry + provenance ---------------------------------------------------
+
+def test_point_log_funnel_telemetry(tmp_path):
+    engine = SweepEngine(cache_dir=str(tmp_path / "cache"))
+    chip = _chip(DTMB_3_6, 60)
+    criterion = RoutingCriterion(deadline=200)
+    task = [
+        EnginePoint(chip, PointSpec("survival", 0.93, 200, 3, criterion=criterion))
+    ]
+    engine.run_points(task)
+    record = engine.point_log[-1]
+    assert record.criterion == criterion.spec()
+    assert record.criterion_digest == criterion.digest()
+    assert record.funnel is not None
+    funnel = record.funnel
+    assert funnel["runs"] == 200
+    assert (
+        funnel["matching_fail"] + funnel["spare_only"] + funnel["route_clear"]
+        + funnel["unreachable"] + funnel["residue"]
+    ) == 200
+    payload = record.as_dict()
+    assert payload["criterion"] == criterion.spec()
+    assert payload["funnel"]["residue_ok"] <= payload["funnel"]["residue"]
+
+    # A cache hit reports the criterion but no funnel counters: the cache
+    # stores results, not telemetry.
+    engine.run_points(task)
+    hit = engine.point_log[-1]
+    assert hit.criterion == criterion.spec()
+    assert hit.funnel is None
+
+
+def test_default_point_record_serialization_unchanged():
+    engine = SweepEngine()
+    chip = _chip(DTMB_2_6, 60)
+    engine.run_points([EnginePoint(chip, PointSpec("survival", 0.95, 50, 1))])
+    payload = engine.point_log[-1].as_dict()
+    assert "criterion" not in payload
+    assert "criterion_digest" not in payload
+    assert "funnel" not in payload
+
+
+def test_registry_provenance_criteria_block():
+    from repro.experiments import registry
+
+    crit = criterion_from_spec("routing:assay=glucose,deadline=200")
+    result = registry.execute(
+        registry.get("fig9"),
+        runs=40,
+        seed=2005,
+        knobs={
+            "criterion": crit,
+            "designs": (DTMB_2_6,),
+            "ns": (60,),
+            "ps": (0.95,),
+        },
+    )
+    budget = result.provenance.as_dict()["budget"]
+    assert budget["criteria"] == [
+        {"spec": crit.spec(), "digest": crit.digest()}
+    ]
+    assert budget["criterion_funnel"]["runs"] == 40
+    assert result.provenance.stable_dict()["criteria"][0]["digest"] == crit.digest()
+
+    # Default dispatches must not grow new provenance fields.
+    plain = registry.execute(
+        registry.get("fig9"),
+        runs=40,
+        seed=2005,
+        knobs={"designs": (DTMB_2_6,), "ns": (60,), "ps": (0.95,)},
+    )
+    assert "criteria" not in plain.provenance.as_dict()["budget"]
+    assert "criterion_funnel" not in plain.provenance.as_dict()["budget"]
+    assert "criteria" not in plain.provenance.stable_dict()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_rejects_criterion_on_fixed_experiments(capsys):
+    from repro.cli import main
+
+    assert main(["table1", "--criterion", "routing"]) == 2
+    assert "does not accept --criterion" in capsys.readouterr().err
+
+
+def test_cli_rejects_malformed_criterion(capsys):
+    from repro.cli import main
+
+    assert main(["fig9", "--runs", "10", "--criterion", "bogus"]) == 2
+    assert "unknown criterion" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_cli_all_experiment_jobs_bit_identical(tmp_path, monkeypatch, capsys):
+    """`repro all --experiment-jobs N` writes byte-identical artifacts.
+
+    The registry is narrowed to cheap deterministic-ish experiments in
+    the parent (workers resolve experiments by name, so the subset only
+    bounds what gets scheduled, not how each one runs)."""
+    from repro.cli import main
+    from repro.experiments import registry
+
+    subset = [registry.get("table1"), registry.get("fig7"), registry.get("fig13")]
+    monkeypatch.setattr(registry, "all_experiments", lambda: subset)
+
+    serial_dir = tmp_path / "serial"
+    shard_dir = tmp_path / "shard"
+    assert main(
+        ["all", "--runs", "60", "--seed", "9", "--out", str(serial_dir)]
+    ) == 0
+    serial_out = capsys.readouterr().out
+    assert main(
+        ["all", "--runs", "60", "--seed", "9", "--experiment-jobs", "3",
+         "--out", str(shard_dir)]
+    ) == 0
+    shard_out = capsys.readouterr().out
+
+    # stdout: identical except the artifact directory named at the end.
+    assert (
+        serial_out.replace(str(serial_dir), "OUT")
+        == shard_out.replace(str(shard_dir), "OUT")
+    )
+
+    for root, _dirs, files in os.walk(serial_dir):
+        rel_root = os.path.relpath(root, serial_dir)
+        for name in files:
+            if name == "manifest.json":
+                continue
+            rel = os.path.join(rel_root, name)
+            assert filecmp.cmp(
+                serial_dir / rel, shard_dir / rel, shallow=False
+            ), f"{rel} differs between serial and sharded `all`"
+
+    serial_manifest = json.loads((serial_dir / "manifest.json").read_text())
+    shard_manifest = json.loads((shard_dir / "manifest.json").read_text())
+    for name in ("table1", "fig7", "fig13"):
+        assert (
+            serial_manifest["experiments"][name]["provenance"]["digest"]
+            == shard_manifest["experiments"][name]["provenance"]["digest"]
+        )
+
+
+# -- serve --------------------------------------------------------------------
+
+def test_serve_point_request_carries_criterion():
+    from repro.serve.app import ReproServer, ServeConfig
+    from repro.serve.protocol import BundleRequest, PointRequest
+
+    server = ReproServer(ServeConfig())
+    request = PointRequest.from_dict(
+        {
+            "design": "DTMB(2,6)", "n": 60, "param": 0.95, "runs": 100,
+            "seed": 1, "criterion": "routing:assay=glucose,deadline=150",
+        }
+    )
+    task, _digest = server._task_for(request)
+    assert task.spec.criterion is not None
+    assert task.spec.criterion.deadline == 150
+    # Distinct coalescing/cache keys vs the default matching point.
+    plain, _ = server._task_for(
+        PointRequest.from_dict(
+            {"design": "DTMB(2,6)", "n": 60, "param": 0.95, "runs": 100,
+             "seed": 1}
+        )
+    )
+    assert server.engine.point_key(task) != server.engine.point_key(plain)
+
+    # Bundle identity: conditional field, so legacy keys are unchanged.
+    with_crit = BundleRequest.from_dict(
+        "fig9", {"runs": 100, "criterion": "routing"}
+    ).identity()
+    without = BundleRequest.from_dict("fig9", {"runs": 100}).identity()
+    assert "criterion" in with_crit
+    assert "criterion" not in without
+
+
+def test_scenario_packs_registered():
+    from repro.experiments import registry
+
+    for name in ("fig7-functional", "fig9-functional", "scenario-multiplexed"):
+        experiment = registry.get(name)
+        assert experiment.budget.adaptive_capable
+    assert registry.get("fig9").criterion_knob
+    assert registry.get("fig7").criterion_knob
+    assert not registry.get("table1").criterion_knob
