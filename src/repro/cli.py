@@ -29,6 +29,11 @@ experiment's registered target half-width (override with
 provenance records requested vs. effective runs per point.
 ``--shard-runs N`` splits huge points into N-run, ``SeedSequence``-seeded
 shards so a single p-grid corner can use every ``--jobs`` worker.
+``--retries N``/``--unit-timeout S`` retry failed or stalled compute
+units with deterministic backoff (retried results are bit-identical);
+``--checkpoint`` (with ``--cache``) journals adaptive points
+fold-by-fold so an interrupted sweep resumes byte-identically from its
+last completed fold.
 ``--defect-model NAME[:k=v,...]`` reruns the survival sweeps under a
 spatial defect model (clustered spots, rate mixing, radial gradients —
 see :mod:`repro.yieldsim.defects`) at severity matched to the p axis;
@@ -65,6 +70,7 @@ from repro.experiments.registry import Experiment, ExperimentResult
 from repro.viz.export import write_csv
 from repro.yieldsim.defects import ModelFamily, family_from_spec
 from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "main",
@@ -100,9 +106,11 @@ def add_budget_options(
 
 
 def add_engine_options(p: argparse.ArgumentParser) -> None:
-    """--jobs/--cache/--shard-runs: how the sweep engine executes.
+    """--jobs/--cache/--shard-runs plus the resilience knobs.
 
-    All three preserve bit-identity with serial execution."""
+    All of them preserve bit-identity with serial execution: retries,
+    timeouts and checkpoint resumes change where and when a unit runs,
+    never its numbers."""
     p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for Monte-Carlo sweeps (results are "
@@ -118,6 +126,24 @@ def add_engine_options(p: argparse.ArgumentParser) -> None:
         "--cache", type=str, default=None, metavar="DIR",
         help="on-disk sweep result cache directory (keyed by chip, "
              "parameter, runs and seed; reruns cost nothing)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry each failed compute unit up to N times with "
+             "deterministic exponential backoff before giving up "
+             "(retried results are bit-identical, so 0 just means "
+             "fail fast)",
+    )
+    p.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="S",
+        help="treat any compute unit still running after S seconds as "
+             "failed and retry it under the --retries budget",
+    )
+    p.add_argument(
+        "--checkpoint", action="store_true",
+        help="journal adaptive points fold-by-fold into the --cache "
+             "directory so an interrupted sweep resumes byte-identically "
+             "from its last completed fold (requires --cache)",
     )
 
 
@@ -191,8 +217,39 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _retry_policy(
+    retries: Optional[int], unit_timeout: Optional[float]
+) -> Optional[RetryPolicy]:
+    """The RetryPolicy the --retries/--unit-timeout flags ask for, or None.
+
+    ``--retries N`` means N retries *after* the first attempt, so the
+    policy gets ``attempts=N + 1``; ``--unit-timeout`` alone keeps the
+    default attempt budget.  Validation happens here so a bad flag is a
+    clean CLI error, not a traceback.
+    """
+    if retries is None and unit_timeout is None:
+        return None
+    if retries is not None and retries < 0:
+        raise ExperimentError(f"--retries must be >= 0, got {retries}")
+    if unit_timeout is not None and unit_timeout <= 0:
+        raise ExperimentError(
+            f"--unit-timeout must be > 0, got {unit_timeout}"
+        )
+    attempts = (
+        retries + 1 if retries is not None else DEFAULT_RETRY_POLICY.attempts
+    )
+    return RetryPolicy(attempts=attempts, unit_timeout=unit_timeout)
+
+
+def _retry_from_args(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    return _retry_policy(
+        getattr(args, "retries", None), getattr(args, "unit_timeout", None)
+    )
+
+
 def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
-    """A SweepEngine honoring --jobs/--cache, or None for pure defaults.
+    """A SweepEngine honoring --jobs/--cache/resilience flags, or None
+    for pure defaults.
 
     Progress is reported to stderr in ~10% chunks so long paper-budget
     sweeps show life without polluting the report on stdout.
@@ -200,7 +257,17 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
     jobs = getattr(args, "jobs", 1)
     cache = getattr(args, "cache", None) or None  # "" means no cache
     shard_runs = getattr(args, "shard_runs", None)
-    if jobs == 1 and cache is None and shard_runs is None:
+    retry = _retry_from_args(args)
+    checkpoint = bool(getattr(args, "checkpoint", False))
+    if checkpoint and cache is None:
+        raise ExperimentError("--checkpoint requires --cache DIR")
+    if (
+        jobs == 1
+        and cache is None
+        and shard_runs is None
+        and retry is None
+        and not checkpoint
+    ):
         return None
 
     last_bucket = [-1]
@@ -214,7 +281,12 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
             print(f"  [{done}/{total} points]", file=sys.stderr)
 
     return SweepEngine(
-        jobs=jobs, cache_dir=cache, progress=progress, shard_runs=shard_runs
+        jobs=jobs,
+        cache_dir=cache,
+        progress=progress,
+        shard_runs=shard_runs,
+        retry=retry,
+        checkpoint=checkpoint,
     )
 
 
@@ -406,6 +478,9 @@ def _all_unit(
     criterion_spec: Optional[str],
     cache_dir: Optional[str],
     shard_runs: Optional[int],
+    retries: Optional[int],
+    unit_timeout: Optional[float],
+    checkpoint: bool,
     want_charts: bool,
 ) -> dict:
     """One `repro all` experiment, computed in a worker process.
@@ -416,13 +491,24 @@ def _all_unit(
     are re-parsed here — parsed instances need not cross the process
     boundary.  The worker runs its experiment serially (parallelism comes
     from running experiments side by side), still honoring the result
-    cache and shard plan, which cannot change any number by the engine's
-    bit-identity contract.
+    cache, shard plan and retry/checkpoint policy, none of which can
+    change any number by the engine's bit-identity contract.
     """
     experiment = registry.get(name)
     engine = None
-    if cache_dir is not None or shard_runs is not None:
-        engine = SweepEngine(cache_dir=cache_dir, shard_runs=shard_runs)
+    retry = _retry_policy(retries, unit_timeout)
+    if (
+        cache_dir is not None
+        or shard_runs is not None
+        or retry is not None
+        or checkpoint
+    ):
+        engine = SweepEngine(
+            cache_dir=cache_dir,
+            shard_runs=shard_runs,
+            retry=retry,
+            checkpoint=checkpoint,
+        )
     knobs: dict = {}
     if model_spec and experiment.model_knob:
         knobs["model"] = family_from_spec(model_spec)
@@ -473,10 +559,15 @@ def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
     """
     from repro.yieldsim.executors import default_executor
 
-    # Parse --defect-model/--criterion in the parent first: a malformed
-    # spec must fail before any worker budget is spent.
+    # Parse --defect-model/--criterion/--retries in the parent first: a
+    # malformed spec must fail before any worker budget is spent.
     _model_family_from_args(args)
     _criterion_from_args(args)
+    _retry_from_args(args)
+    if getattr(args, "checkpoint", False) and not (
+        getattr(args, "cache", None) or None
+    ):
+        raise ExperimentError("--checkpoint requires --cache DIR")
     target_ci = _target_ci_from_args(args)
     options = {
         "chart": getattr(args, "chart", False),
@@ -501,6 +592,9 @@ def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
                 getattr(args, "criterion", None),
                 getattr(args, "cache", None) or None,
                 getattr(args, "shard_runs", None),
+                getattr(args, "retries", None),
+                getattr(args, "unit_timeout", None),
+                bool(getattr(args, "checkpoint", False)),
                 want_charts,
             )
             for experiment in experiments
@@ -600,6 +694,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     # Deferred import: the CLI stays asyncio-free unless serving.
     from repro.serve.app import ServeConfig, serve_forever
 
+    retry = _retry_from_args(args)
+    checkpoint = bool(getattr(args, "checkpoint", False))
+    if checkpoint and not (args.cache or None):
+        raise ExperimentError("--checkpoint requires --cache DIR")
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -608,6 +706,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         shard_runs=args.shard_runs,
         out_dir=args.out or None,
         max_runs=args.max_runs,
+        retry=retry,
+        checkpoint=checkpoint,
+        request_timeout=args.request_timeout,
+        max_inflight=args.max_inflight,
+        drain_timeout=args.drain_timeout,
     )
     return serve_forever(config)
 
@@ -706,6 +809,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default=None, metavar="DIR",
         help="persist served experiment bundles into this artifact "
              "run directory",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="per-request compute deadline: a non-streaming request "
+             "waiting longer than S seconds gets 503 + Retry-After "
+             "instead of hanging (streams are exempt; their fold events "
+             "are the liveness signal)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="admission ceiling on distinct in-flight computations; "
+             "requests that would start computation N+1 get 503 + "
+             "Retry-After (joining an existing computation is always "
+             "admitted)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="on SIGTERM/SIGINT, stop accepting connections and give "
+             "in-flight requests up to S seconds to finish",
     )
     add_engine_options(serve)
     serve.set_defaults(handler=_run_serve)

@@ -24,6 +24,7 @@ __all__ = [
     "AssayError",
     "TestPlanError",
     "SimulationError",
+    "UnitFailure",
     "ExperimentError",
     "ArtifactError",
     "ServeError",
@@ -99,6 +100,15 @@ class TestPlanError(ReproError):
 
 class SimulationError(ReproError):
     """Monte-Carlo or kinetics simulation was configured incorrectly."""
+
+
+class UnitFailure(SimulationError):
+    """A compute unit failed permanently despite the retry policy.
+
+    Raised by :class:`~repro.yieldsim.resilience.UnitRunner` once a unit
+    has exhausted its bounded attempts (or a broken process pool its
+    rebuild budget); the original cause rides along as ``__cause__``.
+    """
 
 
 class ExperimentError(ReproError):

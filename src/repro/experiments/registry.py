@@ -51,6 +51,7 @@ from typing import (
 
 from repro.errors import ExperimentError
 from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.resilience import ResilienceStats
 from repro.yieldsim.stats import StopRule
 
 __all__ = [
@@ -328,6 +329,12 @@ class Provenance:
     #: merged criterion-funnel counters across the dispatch's computed
     #: criterion points (None when nothing was computed, e.g. all cached).
     criterion_funnel: Optional[Dict[str, int]] = None
+    #: nonzero resilience incident counters the dispatch survived
+    #: (retries, pool rebuilds, checkpoint resumes, quarantined cache
+    #: entries...); None for the common incident-free run.  Volatile
+    #: telemetry like the funnel: manifest only, never the stable dict —
+    #: a recovered run's *results* are identical to an uninterrupted one.
+    resilience: Optional[Dict[str, int]] = None
 
     def _defect_model_block(self) -> Dict[str, object]:
         """The ``defect_models`` entry, present only for model dispatches.
@@ -373,6 +380,13 @@ class Provenance:
                 "cache_dir": self.engine_cache_dir,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                # Recovery incidents survived during the dispatch; absent
+                # for the incident-free run so legacy manifests compare.
+                **(
+                    {"resilience": dict(self.resilience)}
+                    if self.resilience
+                    else {}
+                ),
             },
             "budget": {
                 "stop_rule": self.stop_rule,
@@ -634,6 +648,7 @@ def execute(
 
     track = engine if engine is not None else default_engine()
     hits0, misses0 = track.cache_hits, track.cache_misses
+    res0 = track.resilience.as_dict()
     log0 = len(track.point_log)
     knobs = dict(knobs or {})
     if rule is not None:
@@ -691,6 +706,9 @@ def execute(
         defect_models=tuple(models),
         criteria=tuple(criteria),
         criterion_funnel=funnel,
+        resilience=(
+            ResilienceStats.delta(res0, track.resilience.as_dict()) or None
+        ),
     )
     return ExperimentResult(
         experiment=experiment,

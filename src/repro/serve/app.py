@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import signal
 import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -60,6 +61,7 @@ from repro.serve.protocol import (
 from repro.yieldsim.defects import family_from_spec
 from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.kernel import PointSpec
+from repro.yieldsim.resilience import RetryPolicy
 from repro.yieldsim.scheduler import EnginePoint, chip_payload, payload_digest
 from repro.yieldsim.stats import YieldEstimate, wilson_half_width
 
@@ -72,6 +74,7 @@ _HTTP_REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -91,6 +94,22 @@ class ServeConfig:
     #: what one request can spend)
     max_runs: int = 1_000_000
     max_body_bytes: int = 1 << 20
+    #: retry policy for the engine's compute units (None = fail fast)
+    retry: Optional[RetryPolicy] = None
+    #: journal fold checkpoints for batched points (needs cache_dir)
+    checkpoint: bool = False
+    #: deadline in seconds for a non-streaming compute request; on expiry
+    #: the client gets 503 + Retry-After while the computation keeps
+    #: running (a later identical request hits the cache).  None = wait.
+    request_timeout: Optional[float] = None
+    #: saturation bound: a request that would *start* a new computation
+    #: while this many are already in flight is refused with 503 +
+    #: Retry-After (joining an existing computation is always allowed).
+    max_inflight: int = 32
+    #: Retry-After hint (seconds) sent with every 503
+    retry_after_s: float = 1.0
+    #: how long shutdown waits for in-flight requests to finish draining
+    drain_timeout: float = 10.0
 
 
 def _normalize_design(name: str) -> str:
@@ -110,12 +129,18 @@ class ReproServer:
     by default it is built from the config's engine options.
     """
 
+    #: how many times a dead leader's computation is re-led by a follower
+    #: before the failure is answered as-is
+    MAX_PROMOTIONS = 2
+
     def __init__(self, config: ServeConfig, engine: Optional[SweepEngine] = None):
         self.config = config
         self.engine = engine if engine is not None else SweepEngine(
             jobs=config.jobs,
             cache_dir=config.cache_dir,
             shard_runs=config.shard_runs,
+            retry=config.retry,
+            checkpoint=config.checkpoint,
         )
         #: serializes engine compute; the engine parallelizes internally
         self._compute_lock = threading.Lock()
@@ -126,6 +151,10 @@ class ReproServer:
         self._chips_by_digest: Dict[str, Biochip] = {}
         self.requests = 0
         self.errors = 0
+        #: requests refused with 503 (saturation) or expired (deadline)
+        self.rejected = 0
+        #: connections currently inside a handler (shutdown drains these)
+        self.active = 0
 
     # -- request resolution ----------------------------------------------------
     def _chip_for(self, request: PointRequest) -> Tuple[Biochip, str]:
@@ -318,14 +347,17 @@ class ReproServer:
             "schema": PROTOCOL_SCHEMA,
             "requests": self.requests,
             "errors": self.errors,
+            "rejected": self.rejected,
             "points": {
                 "computed": self.points.leaders,
                 "coalesced": self.points.followers,
+                "promoted": self.points.promotions,
                 "inflight": len(self.points),
             },
             "bundles": {
                 "computed": self.bundles.leaders,
                 "coalesced": self.bundles.followers,
+                "promoted": self.bundles.promotions,
                 "inflight": len(self.bundles),
             },
             "engine": {
@@ -336,6 +368,31 @@ class ReproServer:
                 "runs_requested": self.engine.runs_requested,
                 "runs_effective": self.engine.runs_effective,
             },
+            "resilience": self.engine.resilience.as_dict(),
+        }
+
+    def health_payload(self) -> Dict[str, object]:
+        """Liveness plus the executor/retry/checkpoint state of the stack."""
+        inflight = len(self.points) + len(self.bundles)
+        executor = self.engine.executor
+        retry = self.engine.retry
+        return {
+            "status": "ok",
+            "schema": PROTOCOL_SCHEMA,
+            "inflight": inflight,
+            "saturated": inflight >= self.config.max_inflight,
+            "executor": {
+                "name": executor.name if executor is not None else (
+                    "serial" if self.engine.jobs == 1 else "pool"
+                ),
+                "jobs": self.engine.jobs,
+            },
+            "retry": retry.as_dict() if retry is not None else None,
+            "checkpoint": {
+                "enabled": self.engine.checkpoint,
+                "cache_dir": self.engine.cache_dir,
+            },
+            "resilience": self.engine.resilience.as_dict(),
         }
 
     def _info_payload(self) -> Dict[str, object]:
@@ -359,11 +416,13 @@ class ReproServer:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self.active += 1
         try:
             await self._handle(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass  # client went away mid-request; nothing to answer
         finally:
+            self.active -= 1
             try:
                 # close() without wait_closed(): every response drains
                 # before we get here, and lingering in wait_closed keeps
@@ -459,7 +518,7 @@ class ReproServer:
             await self._send_json(writer, 200, self.stats_payload())
             return
         if path == "/health" and method == "GET":
-            await self._send_json(writer, 200, {"status": "ok"})
+            await self._send_json(writer, 200, self.health_payload())
             return
         if path == "/" and method == "GET":
             await self._send_json(writer, 200, self._info_payload())
@@ -468,19 +527,93 @@ class ReproServer:
             writer, 404, {"error": "NotFound", "message": f"no route {method} {path}"}
         )
 
+    # -- degradation helpers ---------------------------------------------------
+    def _would_saturate(self, cmap: CoalescingMap, key: str) -> bool:
+        """Would leading ``key`` exceed the in-flight computation bound?
+
+        Joining an existing computation never saturates — a follower adds
+        no compute — so only would-be leaders are refused.
+        """
+        if key in cmap._inflight:
+            return False
+        return len(self.points) + len(self.bundles) >= self.config.max_inflight
+
+    async def _send_busy(
+        self, writer: asyncio.StreamWriter, message: str
+    ) -> None:
+        self.rejected += 1
+        await self._send_json(
+            writer, 503,
+            {"error": "ServiceUnavailable", "message": message,
+             "retry_after_s": self.config.retry_after_s},
+            extra_headers={
+                "Retry-After": f"{max(1, round(self.config.retry_after_s))}"
+            },
+        )
+
+    async def _await_result(self, entry: InflightEntry) -> object:
+        """Await a computation under the per-request deadline (if any)."""
+        future = asyncio.shield(entry.future)
+        if self.config.request_timeout is None:
+            return await future
+        return await asyncio.wait_for(future, self.config.request_timeout)
+
+    @staticmethod
+    def _leader_died(entry: InflightEntry, exc: BaseException) -> bool:
+        """Did the awaited future fail (vs. this request being cancelled)?
+
+        Under ``asyncio.shield`` both surface as exceptions; only a
+        *settled* future means the leader's computation actually died and
+        a follower may take over.  A deterministic request error
+        (:class:`~repro.errors.ReproError`) would fail identically when
+        re-led, so it is answered as-is.
+        """
+        return (
+            entry.future.done()
+            and not isinstance(exc, (ReproError, asyncio.TimeoutError))
+        )
+
     async def _handle_point(
         self, body: bytes, writer: asyncio.StreamWriter
     ) -> None:
         request = PointRequest.from_dict(_parse_json(body))
         task, chip_digest = self._task_for(request)
         key = self.engine.point_key(task)
-        entry, leader = self.points.join(key)
-        queue = entry.subscribe() if request.stream else None
-        if leader:
-            asyncio.ensure_future(self._lead_point(entry, task))
+        if self._would_saturate(self.points, key):
+            await self._send_busy(
+                writer,
+                f"{self.config.max_inflight} computations already in flight",
+            )
+            return
 
-        if queue is None:
-            estimate = await asyncio.shield(entry.future)
+        if not request.stream:
+            promotions = 0
+            while True:
+                entry, leader = self.points.join(key)
+                if leader:
+                    asyncio.ensure_future(self._lead_point(entry, task))
+                try:
+                    estimate = await self._await_result(entry)
+                    break
+                except asyncio.TimeoutError:
+                    self.points.leave(entry)
+                    await self._send_busy(
+                        writer,
+                        f"request exceeded its "
+                        f"{self.config.request_timeout}s deadline; the "
+                        "computation continues — retry to fetch it",
+                    )
+                    return
+                except BaseException as exc:
+                    if not self._leader_died(entry, exc):
+                        raise
+                    if promotions >= self.MAX_PROMOTIONS:
+                        raise
+                    # The leader died mid-compute; this follower re-joins
+                    # and (typically) re-leads.  Safe: the computation is
+                    # a pure function of the key.
+                    promotions += 1
+                    self.points.promotions += 1
             await self._send_json(
                 writer, 200,
                 self._point_payload(request, key, chip_digest, task, estimate,
@@ -489,18 +622,40 @@ class ReproServer:
             return
 
         # NDJSON stream: accepted, folds (adaptive/sharded points), result.
+        # Streaming requests are exempt from the request deadline — their
+        # fold lines are the liveness signal — but still promote on a dead
+        # leader (the stream then restarts from the new leader's folds).
         await self._send_stream_head(writer)
+        promotions = 0
+        entry, leader = self.points.join(key)
+        queue = entry.subscribe()
+        if leader:
+            asyncio.ensure_future(self._lead_point(entry, task))
         await self._send_line(
             writer,
             {"event": "accepted", "key": key, "chip_digest": chip_digest,
              "coalesced": not leader},
         )
         while True:
-            event = await queue.get()
-            if event is None:
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                await self._send_line(writer, event)
+            try:
+                estimate = await asyncio.shield(entry.future)
                 break
-            await self._send_line(writer, event)
-        estimate = await asyncio.shield(entry.future)
+            except BaseException as exc:
+                if not self._leader_died(entry, exc):
+                    raise
+                if promotions >= self.MAX_PROMOTIONS:
+                    raise
+                promotions += 1
+                self.points.promotions += 1
+                entry, leader = self.points.join(key)
+                queue = entry.subscribe()
+                if leader:
+                    asyncio.ensure_future(self._lead_point(entry, task))
         await self._send_line(
             writer,
             {"event": "result",
@@ -520,22 +675,56 @@ class ReproServer:
             )
         blob = json.dumps(request.identity(), sort_keys=True, separators=(",", ":"))
         key = hashlib.sha256(blob.encode("ascii")).hexdigest()
-        entry, leader = self.bundles.join(key)
-        if leader:
-            asyncio.ensure_future(self._lead_bundle(entry, request))
-        payload = dict(await asyncio.shield(entry.future))
+        if self._would_saturate(self.bundles, key):
+            await self._send_busy(
+                writer,
+                f"{self.config.max_inflight} computations already in flight",
+            )
+            return
+        promotions = 0
+        while True:
+            entry, leader = self.bundles.join(key)
+            if leader:
+                asyncio.ensure_future(self._lead_bundle(entry, request))
+            try:
+                payload = dict(await self._await_result(entry))
+                break
+            except asyncio.TimeoutError:
+                self.bundles.leave(entry)
+                await self._send_busy(
+                    writer,
+                    f"request exceeded its {self.config.request_timeout}s "
+                    "deadline; the computation continues — retry to fetch it",
+                )
+                return
+            except BaseException as exc:
+                if not self._leader_died(entry, exc):
+                    raise
+                if promotions >= self.MAX_PROMOTIONS:
+                    raise
+                promotions += 1
+                self.bundles.promotions += 1
         payload["coalesced"] = not leader
         await self._send_json(writer, 200, payload)
 
     # -- response helpers ------------------------------------------------------
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, object]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8") + b"\n"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -571,6 +760,22 @@ def _parse_json(body: bytes) -> Dict[str, object]:
 
 # -- runners -------------------------------------------------------------------
 
+async def _drain(server: ReproServer) -> None:
+    """Wait (bounded) for in-flight requests to finish after stop.
+
+    The listener is already closed, so ``active`` only decreases; the
+    deadline covers a handler stuck behind a long computation — its
+    daemon worker dies with the process, exactly as before, but every
+    request that *can* finish inside the window gets its response instead
+    of a dropped connection.
+    """
+    deadline = server.config.drain_timeout
+    loop = asyncio.get_running_loop()
+    end = loop.time() + max(0.0, deadline)
+    while server.active and loop.time() < end:
+        await asyncio.sleep(0.05)
+
+
 async def _serve(
     server: ReproServer,
     ready=None,
@@ -582,18 +787,43 @@ async def _serve(
     port = tcp.sockets[0].getsockname()[1]
     if ready is not None:
         ready(port)
-    async with tcp:
-        if stop_event is None:
-            await tcp.serve_forever()
-        else:
-            # Graceful variant for BackgroundServer: returning normally
-            # lets asyncio.run() tear the loop down without cancelling
+
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    # SIGTERM/SIGINT request a graceful drain instead of dropping
+    # connections.  Only possible on a main-thread loop with POSIX
+    # signals; a BackgroundServer (daemon-thread loop) stops via its
+    # stop_event instead and drains the same way.
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signame in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed.append(signum)
+    try:
+        async with tcp:
+            # Returning normally (rather than cancelling serve_forever)
+            # lets asyncio.run() tear the loop down without killing
             # in-flight handler tasks mid-await.
             await stop_event.wait()
+        await _drain(server)
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
 
 
 def serve_forever(config: ServeConfig, engine: Optional[SweepEngine] = None) -> int:
-    """Run the server until interrupted (the ``repro serve`` entry point)."""
+    """Run the server until interrupted (the ``repro serve`` entry point).
+
+    SIGTERM and SIGINT both shut down gracefully: the listener closes
+    first, then in-flight requests get up to ``config.drain_timeout``
+    seconds to finish before the process exits.
+    """
     import sys
 
     server = ReproServer(config, engine=engine)
@@ -608,7 +838,10 @@ def serve_forever(config: ServeConfig, engine: Optional[SweepEngine] = None) -> 
 
     try:
         asyncio.run(_serve(server, ready))
+        print("repro serve: drained, shutting down", file=sys.stderr)
     except KeyboardInterrupt:
+        # Signal handlers unavailable (e.g. a platform without them):
+        # fall back to the historical immediate shutdown.
         print("repro serve: shutting down", file=sys.stderr)
     return 0
 
@@ -661,11 +894,19 @@ class BackgroundServer:
             self._failure = exc
             self._ready.set()
 
-    def stop(self) -> None:
+    def stop(self, deadline: float = 10.0) -> None:
+        """Stop accepting, drain in-flight requests, join with ``deadline``.
+
+        The server thread closes its listener immediately, gives active
+        requests up to the config's ``drain_timeout`` to finish, then
+        exits; ``deadline`` bounds how long this call waits for all of
+        that.  A still-alive thread after the deadline is a daemon — it
+        cannot outlive the process — so ``stop`` always returns.
+        """
         if self._loop is not None and self._loop.is_running():
             self._loop.call_soon_threadsafe(self._stop_event.set)
         if self._thread is not None:
-            self._thread.join(timeout=10)
+            self._thread.join(timeout=deadline)
 
     def __enter__(self) -> "BackgroundServer":
         return self.start()

@@ -61,13 +61,19 @@ class CoalescingMap:
 
     Counters are cumulative across the server's lifetime: ``leaders`` is
     the number of computations actually started, ``followers`` the number
-    of requests that joined one instead of computing.
+    of requests that joined one instead of computing, and ``promotions``
+    the number of followers re-elected as leaders after their leader died
+    mid-compute (the server's handler loop drives the re-election; a
+    promoted follower re-joins the map and leads a fresh entry, which is
+    safe because the computation is a pure function of its key).
     """
 
     def __init__(self) -> None:
         self._inflight: Dict[str, InflightEntry] = {}
         self.leaders = 0
         self.followers = 0
+        #: followers re-elected as leaders after their leader died
+        self.promotions = 0
 
     def __len__(self) -> int:
         return len(self._inflight)
@@ -88,6 +94,16 @@ class CoalescingMap:
         self._inflight[key] = entry
         self.leaders += 1
         return entry, True
+
+    def leave(self, entry: InflightEntry) -> None:
+        """A waiter gave up (deadline, dropped connection) without a result.
+
+        Only the waiter accounting changes: the leader keeps computing
+        and the entry stays joinable — the departed client can simply ask
+        again later (and will usually hit the point cache).
+        """
+        if entry.waiters > 0:
+            entry.waiters -= 1
 
     def _pop(self, entry: InflightEntry) -> None:
         current = self._inflight.get(entry.key)

@@ -83,6 +83,7 @@ from repro.chip.biochip import Biochip
 from repro.errors import SimulationError
 from repro.yieldsim.executors import Executor, default_executor
 from repro.yieldsim.kernel import PointSpec, ScreenStats
+from repro.yieldsim.resilience import ResilienceStats, RetryPolicy
 from repro.yieldsim.scheduler import (
     ENGINE_VERSION,
     EnginePoint,
@@ -152,6 +153,13 @@ class PointRecord:
     actually computed — cache hits have no telemetry to report.  All
     three stay ``None`` for default matching points, so legacy records
     and their serialized form are unchanged.
+
+    ``incidents`` counts the recovery work this point's units needed —
+    retries, timeouts, corrupt payloads, pool rebuilds — and is ``None``
+    (and absent from the serialized form) for the overwhelmingly common
+    incident-free point, so records only mention resilience when it
+    actually fired.  Incidents are telemetry, not results: two runs of a
+    point may differ in incidents while their numbers are identical.
     """
 
     kind: str
@@ -164,6 +172,7 @@ class PointRecord:
     criterion: Optional[str] = None
     criterion_digest: Optional[str] = None
     funnel: Optional[Dict[str, int]] = None
+    incidents: Optional[Dict[str, int]] = None
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -180,6 +189,8 @@ class PointRecord:
             out["criterion_digest"] = self.criterion_digest
             if self.funnel is not None:
                 out["funnel"] = dict(self.funnel)
+        if self.incidents is not None:
+            out["incidents"] = dict(self.incidents)
         return out
 
 
@@ -218,6 +229,18 @@ class SweepEngine:
         :class:`~repro.yieldsim.executors.PoolExecutor` otherwise.  Pass
         an :class:`~repro.yieldsim.executors.InlineExecutor` to count
         compute units deterministically in tests.
+    retry:
+        A :class:`~repro.yieldsim.resilience.RetryPolicy` to apply to
+        failed, hung and corrupt compute units (and broken process
+        pools).  ``None`` (default) keeps the historical fail-fast
+        behaviour.  Retries never change numbers — every unit is a pure
+        function of its arguments — only whether a fault is survived.
+    checkpoint:
+        ``True`` journals each batched point's fold state to
+        ``cache_dir`` after every in-order fold, so a preempted adaptive
+        point resumes at the fold it reached with byte-identical output.
+        Requires ``cache_dir``; flat points are already covered by the
+        point cache itself.
     """
 
     def __init__(
@@ -228,18 +251,31 @@ class SweepEngine:
         dtype: type = np.float32,
         shard_runs: Optional[int] = None,
         executor: Optional[Executor] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: bool = False,
     ):
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        if checkpoint and cache_dir is None:
+            raise SimulationError("checkpoint=True requires a cache_dir")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.progress = progress
         self.dtype = dtype
         self.shard_runs = shard_runs
         self.executor = executor
+        self.retry = retry
+        self.checkpoint = checkpoint
+        #: incident counters shared by the cache, scheduler and serve layer
+        self.resilience = ResilienceStats()
         #: the pure scheduling core (key derivation, cache, fold order)
-        self.cache = PointCache(cache_dir, np.dtype(dtype).name)
-        self.scheduler = PointScheduler(self.cache, dtype=dtype, shard_runs=shard_runs)
+        self.cache = PointCache(
+            cache_dir, np.dtype(dtype).name, stats=self.resilience
+        )
+        self.scheduler = PointScheduler(
+            self.cache, dtype=dtype, shard_runs=shard_runs,
+            retry=retry, checkpoint=checkpoint, stats=self.resilience,
+        )
         #: merged screen statistics of everything this engine computed
         self.screen_stats = ScreenStats()
         #: cumulative requested/effective budget totals across run_points calls
@@ -289,6 +325,7 @@ class SweepEngine:
         """
         executor = self.executor if self.executor is not None else default_executor(self.jobs)
         crit_out: List[Optional[Dict[str, int]]] = [None] * len(tasks)
+        incidents_out: List[Optional[Dict[str, int]]] = [None] * len(tasks)
         raw = self.scheduler.run(
             tasks,
             executor,
@@ -296,9 +333,12 @@ class SweepEngine:
             on_fold=on_fold,
             stats=self.screen_stats,
             crit_out=crit_out,
+            incidents_out=incidents_out,
         )
         estimates: List[YieldEstimate] = []
-        for task, (got, trials), crit in zip(tasks, raw, crit_out):
+        for task, (got, trials), crit, incidents in zip(
+            tasks, raw, crit_out, incidents_out
+        ):
             self.runs_requested += task.spec.runs
             self.runs_effective += trials
             criterion = task.spec.criterion
@@ -318,6 +358,7 @@ class SweepEngine:
                         criterion.digest() if criterion is not None else None
                     ),
                     funnel=crit,
+                    incidents=incidents,
                 )
             )
             estimates.append(YieldEstimate(successes=got, trials=trials))

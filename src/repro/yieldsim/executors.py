@@ -99,8 +99,14 @@ class Executor(Protocol):
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> UnitFuture: ...
 
-    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
-        """Block until at least one of ``futures`` is done; return those."""
+    def wait_any(
+        self, futures: Set[UnitFuture], timeout: Optional[float] = None
+    ) -> Set[UnitFuture]:
+        """Block until at least one of ``futures`` is done; return those.
+
+        With a ``timeout`` (seconds), may return an empty set once it
+        elapses — how the retry layer notices hung units.
+        """
 
     def shutdown(self) -> None:
         """End the current run, releasing any workers."""
@@ -121,7 +127,9 @@ class SerialExecutor:
     def submit(self, fn: Callable[..., Any], *args: Any) -> ImmediateFuture:
         return ImmediateFuture(fn(*args))
 
-    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+    def wait_any(
+        self, futures: Set[UnitFuture], timeout: Optional[float] = None
+    ) -> Set[UnitFuture]:
         return set(futures)
 
     def shutdown(self) -> None:
@@ -164,7 +172,9 @@ class InlineExecutor:
         self.submitted += 1
         return ImmediateFuture(fn(*args))
 
-    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+    def wait_any(
+        self, futures: Set[UnitFuture], timeout: Optional[float] = None
+    ) -> Set[UnitFuture]:
         done = set(futures)
         self.completed += len(done)
         return done
@@ -180,6 +190,12 @@ class PoolExecutor:
     holds more than one unit — a single-unit run (or ``jobs=1``) executes
     inline, exactly like :class:`SerialExecutor`, so tiny requests never
     pay process spin-up.
+
+    A broken pool (a worker died hard enough to poison it —
+    ``BrokenProcessPool``) is recoverable: :meth:`rebuild` discards the
+    poisoned pool and spawns a fresh one at the same size, and the retry
+    layer resubmits whatever was in flight.  ``rebuilds`` counts how many
+    times that happened over the executor's lifetime.
     """
 
     name = "pool"
@@ -189,6 +205,9 @@ class PoolExecutor:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        #: lifetime count of broken pools replaced via rebuild()
+        self.rebuilds = 0
 
     @property
     def capacity(self) -> int:
@@ -196,21 +215,30 @@ class PoolExecutor:
 
     def start(self, units_hint: int) -> None:
         if self.jobs > 1 and units_hint > 1:
-            self._pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, units_hint)
-            )
+            self._pool_size = min(self.jobs, units_hint)
+            self._pool = ProcessPoolExecutor(max_workers=self._pool_size)
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> UnitFuture:
         if self._pool is None:
             return ImmediateFuture(fn(*args))
         return self._pool.submit(fn, *args)
 
-    def wait_any(self, futures: Set[UnitFuture]) -> Set[UnitFuture]:
+    def wait_any(
+        self, futures: Set[UnitFuture], timeout: Optional[float] = None
+    ) -> Set[UnitFuture]:
         done = {fut for fut in futures if isinstance(fut, ImmediateFuture)}
         if done:
             return done
-        finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+        finished, _ = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
         return set(finished)
+
+    def rebuild(self) -> None:
+        """Replace a poisoned pool with a fresh one at the same size."""
+        if self._pool is None:
+            raise SimulationError("no process pool to rebuild")
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self._pool_size)
+        self.rebuilds += 1
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -49,7 +49,7 @@ from repro.chip.cell import Cell, CellRole
 from repro.errors import SimulationError
 from repro.geometry.hex import Hex
 from repro.geometry.square import Square
-from repro.yieldsim.executors import Executor, UnitFuture
+from repro.yieldsim.executors import Executor
 from repro.yieldsim.kernel import (
     PointSpec,
     RepairStructure,
@@ -60,6 +60,11 @@ from repro.yieldsim.kernel import (
     shard_plan,
     shard_seed,
     simulate_points,
+)
+from repro.yieldsim.resilience import (
+    ResilienceStats,
+    RetryPolicy,
+    UnitRunner,
 )
 from repro.yieldsim.stats import StopRule
 
@@ -275,10 +280,23 @@ class PointCache:
     ``dir=None`` disables storage but keeps key derivation available;
     hits/misses counters then stay zero, matching the engine's historical
     accounting (misses are only counted when a cache is actually on).
+
+    Every entry carries a content digest, verified on load: a truncated,
+    bit-rotted or hand-edited file is *quarantined* (renamed ``*.corrupt``,
+    counted in ``stats.quarantined``) and treated as a miss — the read
+    path never raises on bad data.  The same journal format backs the
+    fold **checkpoints** (``*.ckpt.json``) that make adaptive points
+    preemption-proof: :meth:`store_checkpoint` journals a point's
+    cumulative fold state after every in-order fold with the same atomic
+    tmp+rename discipline, and :meth:`load_checkpoint` lets the next run
+    resume at fold *k* with state — successes, trials, screen stats,
+    criterion funnel — identical to what the uninterrupted run had there,
+    so the final artifact is byte-identical.
     """
 
     def __init__(self, cache_dir: Optional[str], dtype_name: str,
-                 version: int = ENGINE_VERSION):
+                 version: int = ENGINE_VERSION,
+                 stats: Optional[ResilienceStats] = None):
         if cache_dir is not None and os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
             raise SimulationError(
                 f"cache path {cache_dir!r} exists and is not a directory"
@@ -288,6 +306,7 @@ class PointCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        self.stats = stats if stats is not None else ResilienceStats()
 
     # -- keys -----------------------------------------------------------------
     def key(
@@ -330,6 +349,71 @@ class PointCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.dir, f"{key}.json")
 
+    def _ckpt_path(self, key: str) -> str:
+        return os.path.join(self.dir, f"{key}.ckpt.json")
+
+    # -- integrity ------------------------------------------------------------
+    @staticmethod
+    def _entry_digest(entry: Dict[str, object]) -> str:
+        """Content digest of an entry (excluding its own ``digest`` field)."""
+        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt file aside so it is recomputed, never re-read."""
+        self.stats.quarantined += 1
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass
+
+    def _verified(self, path: str) -> Optional[Dict[str, object]]:
+        """The entry at ``path`` iff it parses and its digest checks out.
+
+        Anything else — unreadable, truncated, non-JSON, digest mismatch,
+        a pre-digest legacy entry — quarantines the file and reads as a
+        miss.  A file that simply does not exist is a plain miss.
+        """
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._quarantine(path)
+            return None
+        try:
+            # json.loads decodes the bytes itself; invalid UTF-8 raises a
+            # UnicodeDecodeError, which is a ValueError — quarantined below.
+            data = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path)
+            return None
+        stored = data.pop("digest", None)
+        if stored != self._entry_digest(data):
+            self._quarantine(path)
+            return None
+        return data
+
+    def _write(self, path: str, entry: Dict[str, object]) -> None:
+        """Atomically persist ``entry`` (with its digest) at ``path``."""
+        entry = dict(entry)
+        entry["digest"] = self._entry_digest(entry)
+        os.makedirs(self.dir, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
     # -- storage --------------------------------------------------------------
     def load(
         self, key: str, spec: PointSpec, batched: bool = False
@@ -355,9 +439,10 @@ class PointCache:
             # A seedless batched point has fresh entropy every time; a
             # cache entry for it would be a false hit.
             return None
+        data = self._verified(self._path(key))
+        if data is None:
+            return None
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
-                data = json.load(fh)
             successes = data["successes"]
             trials = data["trials"]
             if batched:
@@ -366,7 +451,7 @@ class PointCache:
             elif trials != spec.runs or not 0 <= successes <= spec.runs:
                 return None
             return int(successes), int(trials)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
 
     def store(
@@ -391,18 +476,103 @@ class PointCache:
         if batched:
             entry["requested"] = spec.runs
             entry["stop"] = stop.digest() if stop is not None else None
-        os.makedirs(self.dir, exist_ok=True)
-        path = self._path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        self._write(self._path(key), entry)
+
+    # -- fold checkpoints ------------------------------------------------------
+    def load_checkpoint(
+        self, key: str, spec: PointSpec
+    ) -> Optional[Dict[str, object]]:
+        """The journaled fold state of a batched point, if present and valid.
+
+        Returns the raw checkpoint entry (``folds``/``successes``/
+        ``trials``/``stats``/``crit``); the scheduler validates it against
+        the point's shard plan before trusting it.  Corrupt checkpoints
+        quarantine like any cache file; a stale or inconsistent one reads
+        as absent, so the worst outcome of any checkpoint is recomputing
+        from fold zero.
+        """
+        if self.dir is None or spec.seed is None:
+            return None
+        data = self._verified(self._ckpt_path(key))
+        if data is None:
+            return None
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh)
-            os.replace(tmp, path)
+            folds = int(data["folds"])  # type: ignore[arg-type]
+            successes = int(data["successes"])  # type: ignore[arg-type]
+            trials = int(data["trials"])  # type: ignore[arg-type]
+        except (ValueError, KeyError, TypeError):
+            return None
+        if data.get("requested") != spec.runs or folds < 1:
+            return None
+        if not 0 <= successes <= trials <= spec.runs:
+            return None
+        return data
+
+    def store_checkpoint(
+        self,
+        key: str,
+        spec: PointSpec,
+        *,
+        folds: int,
+        successes: int,
+        trials: int,
+        stats: Dict[str, int],
+        crit: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Journal a batched point's cumulative state after fold ``folds``."""
+        if self.dir is None or spec.seed is None:
+            return
+        self._write(self._ckpt_path(key), {
+            "requested": spec.runs,
+            "folds": folds,
+            "successes": successes,
+            "trials": trials,
+            "stats": stats,
+            "crit": crit,
+            "version": self.version,
+        })
+
+    def clear_checkpoint(self, key: str) -> None:
+        """Drop a point's checkpoint (it completed; the final entry rules)."""
+        if self.dir is None:
+            return
+        try:
+            os.unlink(self._ckpt_path(key))
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            pass
+
+
+# -- result validation --------------------------------------------------------
+#
+# Validators run parent-side in UnitRunner.collect(): the scheduler knows
+# each unit's payload shape and bounds, so a corrupted payload (bit-rot,
+# a broken transport, an injected fault) is rejected and the unit retried
+# instead of folding garbage into the estimates.
+
+def _is_count(value: object, cap: int) -> bool:
+    return isinstance(value, (int, np.integer)) and not isinstance(
+        value, bool
+    ) and 0 <= int(value) <= cap
+
+
+def _chunk_validator(runs: Sequence[int]) -> Callable[[object], bool]:
+    """Accept only a well-formed ``compute_chunk`` payload for ``runs``."""
+    def validate(value: object) -> bool:
+        successes, stat_dict, crits = value  # type: ignore[misc]
+        if len(successes) != len(runs) or len(crits) != len(runs):
+            return False
+        if not all(_is_count(got, cap) for got, cap in zip(successes, runs)):
+            return False
+        return isinstance(stat_dict, dict)
+    return validate
+
+
+def _shard_validator(size: int) -> Callable[[object], bool]:
+    """Accept only a well-formed ``compute_shard`` payload for ``size`` runs."""
+    def validate(value: object) -> bool:
+        got, stat_dict = value  # type: ignore[misc]
+        return _is_count(got, size) and isinstance(stat_dict, dict)
+    return validate
 
 
 # -- the scheduler ------------------------------------------------------------
@@ -416,6 +586,16 @@ class PointScheduler:
     compute units execute and how far the scheduler may speculate past an
     adaptive stop point; folds always happen in batch order, so every
     backend produces identical numbers and identical effective budgets.
+
+    ``retry`` applies the resilience layer: failed, hung and corrupted
+    units are re-executed with deterministic backoff, and a broken
+    process pool is rebuilt with its in-flight units resubmitted — all
+    without changing a single number, because every unit is a pure
+    function of its arguments.  ``checkpoint=True`` journals each batched
+    point's fold state to the cache directory so a preempted adaptive
+    point resumes at the fold it reached.  ``stats`` shares one
+    :class:`~repro.yieldsim.resilience.ResilienceStats` with the cache
+    (default) so the engine sees every incident in one place.
     """
 
     def __init__(
@@ -423,12 +603,18 @@ class PointScheduler:
         cache: PointCache,
         dtype: type = np.float32,
         shard_runs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: bool = False,
+        stats: Optional[ResilienceStats] = None,
     ):
         if shard_runs is not None and shard_runs < 1:
             raise SimulationError(f"shard_runs must be >= 1, got {shard_runs}")
         self.cache = cache
         self.dtype = dtype
         self.shard_runs = shard_runs
+        self.retry = retry
+        self.checkpoint = checkpoint
+        self.stats = stats if stats is not None else cache.stats
 
     # -- key derivation --------------------------------------------------------
     def task_batch(self, task: EnginePoint) -> Optional[int]:
@@ -457,6 +643,7 @@ class PointScheduler:
         on_fold: Optional[FoldHook] = None,
         stats: Optional[ScreenStats] = None,
         crit_out: Optional[List[Optional[Dict[str, int]]]] = None,
+        incidents_out: Optional[List[Optional[Dict[str, int]]]] = None,
     ) -> List[Tuple[int, int]]:
         """``(successes, effective trials)`` for every task, in order.
 
@@ -474,6 +661,12 @@ class PointScheduler:
         their slot ``None`` — the cache stores results, not telemetry —
         and only in-order folds count for batched points, so the counters
         are executor-independent like everything else.
+
+        ``incidents_out`` works the same way for resilience telemetry:
+        slots of points whose units needed recovery (retries, timeouts,
+        corrupt payloads, pool rebuilds) are filled with the per-kind
+        incident counts, attributing recovery work to the points it
+        served.  A chunk's incidents attribute to every point it carried.
         """
         n = len(tasks)
         results: List[Optional[Tuple[int, int]]] = [None] * n
@@ -550,25 +743,29 @@ class PointScheduler:
         }
         shard_units = sum(len(plan) for plan in plans.values())
         executor.start(max(len(chunks), shard_units))
+        runner = UnitRunner(executor, self.retry, self.stats)
         try:
             # Flat chunks: submit up to capacity, fold results as they
             # complete.  With a capacity-1 immediate executor this is the
-            # historical strict chunk-order serial loop.
+            # historical strict chunk-order serial loop.  The runner
+            # retries crashed/hung/corrupted chunks transparently; a
+            # definitively-completed chunk folds exactly as before.
             queue = deque(chunks)
-            inflight: Dict[UnitFuture, List[int]] = {}
-            while queue or inflight:
-                while queue and len(inflight) < executor.capacity:
+            while queue or len(runner):
+                while queue and runner.free_slots > 0:
                     digest, idxs = queue.popleft()
-                    fut = executor.submit(
-                        compute_chunk, digest, payload_by_digest[digest],
-                        [tasks[i].spec for i in idxs], dtype_name,
+                    runner.submit(
+                        ("chunk", tuple(idxs)),
+                        compute_chunk,
+                        (digest, payload_by_digest[digest],
+                         [tasks[i].spec for i in idxs], dtype_name),
+                        validator=_chunk_validator(
+                            [tasks[i].spec.runs for i in idxs]
+                        ),
                     )
-                    inflight[fut] = idxs
-                if not inflight:
-                    break
-                for fut in executor.wait_any(set(inflight)):
-                    successes, chunk_stats, chunk_crits = fut.result()
-                    record(inflight.pop(fut), successes, chunk_stats, chunk_crits)
+                for token, value in runner.collect():
+                    successes, chunk_stats, chunk_crits = value
+                    record(list(token[1]), successes, chunk_stats, chunk_crits)
 
             def on_point(i: int, got: int, trials: int) -> None:
                 nonlocal done
@@ -577,17 +774,32 @@ class PointScheduler:
                     keys[i], tasks[i].spec, got, trials,
                     batched=True, stop=tasks[i].stop,
                 )
+                if self.checkpoint:
+                    self.cache.clear_checkpoint(keys[i])
                 done += 1
                 if progress is not None:
                     progress(done, n)
 
             if pending_batched:
                 self._run_batched(
-                    tasks, pending_batched, plans, digests, payload_by_digest,
-                    executor, on_point, on_fold, stats, crit_out,
+                    tasks, pending_batched, plans, keys, digests,
+                    payload_by_digest, executor, runner, on_point, on_fold,
+                    stats, crit_out,
                 )
         finally:
             executor.shutdown()
+
+        if incidents_out is not None:
+            for token, counts in runner.incidents.items():
+                members = (
+                    token[1] if isinstance(token, tuple) and token[0] == "chunk"
+                    else (token[0],)
+                )
+                for i in members:
+                    bucket = incidents_out[i] or {}
+                    for kind, count in counts.items():
+                        bucket[kind] = bucket.get(kind, 0) + count
+                    incidents_out[i] = bucket
 
         return [pair for pair in results]  # type: ignore[misc]
 
@@ -596,9 +808,11 @@ class PointScheduler:
         tasks: Sequence[EnginePoint],
         indices: Sequence[int],
         plans: Dict[int, Tuple[int, ...]],
+        keys: Sequence[str],
         digests: Sequence[str],
         payload_by_digest: Dict[str, Dict[str, object]],
         executor: Executor,
+        runner: UnitRunner,
         on_point: Callable[[int, int, int], None],
         on_fold: Optional[FoldHook],
         stats: ScreenStats,
@@ -617,6 +831,14 @@ class PointScheduler:
         and screen stats equal to the capacity-1 fold.  With a capacity-1
         immediate executor no speculation happens at all: each batch is
         computed, folded and stop-checked before the next is submitted.
+
+        With checkpointing on, each in-order fold of a seeded point
+        journals the point's cumulative state (successes, trials, screen
+        stats, criterion funnel) to the cache directory, and points with
+        a valid checkpoint restore that state up front — skipping the
+        folds a previous, interrupted run already did.  Because the
+        journal holds exactly what the fold loop would have accumulated,
+        a resumed point is indistinguishable from an uninterrupted one.
         """
         dtype_name = np.dtype(self.dtype).name
         entropies = {i: point_entropy(tasks[i].spec.seed) for i in indices}
@@ -637,25 +859,80 @@ class PointScheduler:
                 if tasks[i].spec.criterion is not None
             }
 
+        def finish(i: int) -> None:
+            complete.add(i)
+            if i in crit_acc and crit_out is not None:
+                crit_out[i] = crit_acc[i].as_dict()
+            on_point(i, successes[i], trials[i])
+
+        # Checkpoint restore: per-point screen-stat accumulators exist
+        # only for journaled points (they fund the next checkpoint write).
+        ckpt_stats: Dict[int, ScreenStats] = {}
+        if self.checkpoint and self.cache.dir is not None:
+            for i in indices:
+                task = tasks[i]
+                if task.spec.seed is None:
+                    continue
+                ckpt_stats[i] = ScreenStats()
+                data = self.cache.load_checkpoint(keys[i], task.spec)
+                if data is None:
+                    continue
+                folds = int(data["folds"])  # type: ignore[arg-type]
+                if folds > len(plans[i]) or int(
+                    data["trials"]  # type: ignore[arg-type]
+                ) != sum(plans[i][:folds]):
+                    continue  # journal from another plan shape: recompute
+                successes[i] = int(data["successes"])  # type: ignore[arg-type]
+                trials[i] = int(data["trials"])  # type: ignore[arg-type]
+                next_fold[i] = folds
+                restored = ScreenStats.from_dict(data.get("stats") or {})
+                stats.merge(restored)
+                ckpt_stats[i].merge(restored)
+                if i in crit_acc and data.get("crit"):
+                    from repro.functional.criteria import CriterionStats
+
+                    crit_acc[i] = CriterionStats.from_wire(data["crit"])
+                self.stats.checkpoint_resumes += 1
+                self.stats.folds_resumed += folds
+                if on_fold is not None:
+                    on_fold(i, successes[i], trials[i])
+                rule = task.stop
+                if next_fold[i] == len(plans[i]) or (
+                    rule is not None
+                    and rule.should_stop(successes[i], trials[i])
+                ):
+                    finish(i)
+
+        def journal(i: int) -> None:
+            if i in ckpt_stats:
+                self.cache.store_checkpoint(
+                    keys[i], tasks[i].spec,
+                    folds=next_fold[i], successes=successes[i],
+                    trials=trials[i], stats=ckpt_stats[i].as_dict(),
+                    crit=(
+                        crit_acc[i].wire_dict() if i in crit_acc else None
+                    ),
+                )
+
         def unit_stream():
             for i in indices:
-                for k in range(len(plans[i])):
+                for k in range(next_fold[i], len(plans[i])):
                     yield i, k
 
         units = unit_stream()
-        futures: Dict[Tuple[int, int], UnitFuture] = {}
         ready: Dict[Tuple[int, int], Tuple[int, Dict[str, int]]] = {}
 
         def submit_up_to_capacity() -> None:
-            while len(futures) < executor.capacity:
+            while runner.free_slots > 0:
                 for i, k in units:
                     if i in complete:
                         continue  # point already decided; skip its tail
                     spec = tasks[i].spec
-                    futures[(i, k)] = executor.submit(
-                        compute_shard, digests[i], payload_by_digest[digests[i]],
-                        spec, plans[i][k],
-                        entropies[i], k, dtype_name,
+                    runner.submit(
+                        (i, k), compute_shard,
+                        (digests[i], payload_by_digest[digests[i]],
+                         spec, plans[i][k], entropies[i], k, dtype_name),
+                        validator=_shard_validator(plans[i][k]),
                     )
                     break
                 else:
@@ -663,16 +940,20 @@ class PointScheduler:
 
         while len(complete) < len(indices):
             submit_up_to_capacity()
-            finished = executor.wait_any(set(futures.values()))
-            for unit in [u for u, fut in list(futures.items()) if fut in finished]:
-                ready[unit] = futures.pop(unit).result()
+            if not len(runner) and not ready:
+                break  # nothing in flight, nothing to fold (defensive)
+            for unit, value in runner.collect():
+                ready[unit] = value
             for i in indices:
                 if i in complete:
                     continue
                 rule = tasks[i].stop
                 while (i, next_fold[i]) in ready and i not in complete:
                     got, shard_stats = ready.pop((i, next_fold[i]))
-                    stats.merge(ScreenStats.from_dict(shard_stats))
+                    shard_screen = ScreenStats.from_dict(shard_stats)
+                    stats.merge(shard_screen)
+                    if i in ckpt_stats:
+                        ckpt_stats[i].merge(shard_screen)
                     if i in crit_acc:
                         # Only in-order folds count: speculative shards of
                         # stopped points are discarded below, so criterion
@@ -689,14 +970,11 @@ class PointScheduler:
                         successes[i], trials[i]
                     )
                     if stopped or next_fold[i] == len(plans[i]):
-                        complete.add(i)
-                        if i in crit_acc and crit_out is not None:
-                            crit_out[i] = crit_acc[i].as_dict()
-                        on_point(i, successes[i], trials[i])
+                        finish(i)
+                    else:
+                        journal(i)
             # Drop speculative results (and cancel queued batches) of
             # points that have since completed.
             for unit in [u for u in ready if u[0] in complete]:
                 del ready[unit]
-            for unit in [u for u, fut in list(futures.items()) if u[0] in complete]:
-                futures[unit].cancel()
-                del futures[unit]
+            runner.cancel_where(lambda token: token[0] in complete)

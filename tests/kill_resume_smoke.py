@@ -1,0 +1,151 @@
+"""CI kill-and-resume driver — not a pytest module.
+
+SIGKILLs a real adaptive CLI run mid-sweep, resumes it from its cache and
+fold checkpoints, and asserts the resumed artifacts are byte-identical to
+an uninterrupted reference run:
+
+1. Launch ``repro fig9 --adaptive --cache --checkpoint --out`` and kill
+   it dead (SIGKILL, no cleanup) partway through the sweep.  If the run
+   outpaces the kill, retry with an earlier kill until it really dies
+   mid-flight.
+2. Re-run the identical command to completion.  The resume must reuse
+   the dead run's state: completed points from the cache, the in-flight
+   point from its fold checkpoint.
+3. Run the same command against a fresh cache as the reference.
+4. Every artifact file must match byte for byte, and the two manifests'
+   result digests must be equal.  (``manifest.json`` itself contains
+   wall-clock and cache-traffic telemetry, so it is compared by digest,
+   not by bytes.)
+
+Exits non-zero on any mismatch.  Run as::
+
+    PYTHONPATH=src python tests/kill_resume_smoke.py
+
+``REPRO_CHAOS_RUNS`` / ``REPRO_CHAOS_TARGET_CI`` shrink the budget for a
+quick local pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+RUNS = os.environ.get("REPRO_CHAOS_RUNS", "100000")
+TARGET_CI = os.environ.get("REPRO_CHAOS_TARGET_CI", "0.003")
+KILL_DELAYS = (3.0, 2.0, 1.2, 0.8, 0.5)
+
+
+def command(cache: pathlib.Path, out: pathlib.Path) -> list:
+    return [
+        sys.executable, "-m", "repro", "fig9",
+        "--runs", RUNS, "--adaptive", "--target-ci", TARGET_CI,
+        "--shard-runs", "2000",
+        "--cache", str(cache), "--checkpoint", "--out", str(out),
+    ]
+
+
+def killed_mid_run(cache: pathlib.Path, out: pathlib.Path) -> bool:
+    """One kill attempt per delay; True once a run died mid-sweep."""
+    for delay in KILL_DELAYS:
+        for stale in (cache, out):
+            shutil.rmtree(stale, ignore_errors=True)
+        proc = subprocess.Popen(
+            command(cache, out),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        time.sleep(delay)
+        if proc.poll() is not None:
+            print(f"kill at {delay}s: run already finished, retrying earlier")
+            continue
+        proc.kill()
+        proc.wait()
+        state = sorted(p.name for p in cache.glob("*.json"))
+        print(
+            f"kill at {delay}s: SIGKILL mid-run, "
+            f"{len(state)} cache/checkpoint files left behind"
+        )
+        if state:
+            return True
+        print("  ...but no state was journaled yet; retrying later kill")
+    return False
+
+
+def run_to_completion(cache: pathlib.Path, out: pathlib.Path) -> None:
+    shutil.rmtree(out, ignore_errors=True)
+    subprocess.run(command(cache, out), check=True, stdout=subprocess.DEVNULL)
+
+
+def manifest_digests(out: pathlib.Path) -> dict:
+    manifest = json.loads((out / "manifest.json").read_text())
+    return {
+        name: entry["provenance"]["digest"]
+        for name, entry in manifest["experiments"].items()
+    }
+
+
+def main() -> int:
+    base = pathlib.Path(tempfile.mkdtemp(prefix="repro-kill-resume-"))
+    cache, out_resumed = base / "cache", base / "out-resumed"
+    cache_ref, out_ref = base / "cache-ref", base / "out-ref"
+
+    interrupted = killed_mid_run(cache, out_resumed)
+    if not interrupted:
+        print("WARNING: could not interrupt the run; identity check only")
+
+    run_to_completion(cache, out_resumed)
+    run_to_completion(cache_ref, out_ref)
+
+    # Per-experiment artifact files must be byte-identical.
+    ref_files = sorted(
+        p.relative_to(out_ref)
+        for p in out_ref.rglob("*")
+        if p.is_file() and p.name != "manifest.json"
+    )
+    assert ref_files, "reference run produced no artifacts"
+    mismatched = []
+    for rel in ref_files:
+        resumed_path = out_resumed / rel
+        if not resumed_path.is_file():
+            mismatched.append(f"{rel}: missing from resumed run")
+        elif resumed_path.read_bytes() != (out_ref / rel).read_bytes():
+            mismatched.append(f"{rel}: bytes differ")
+    assert not mismatched, "resumed artifacts diverged:\n  " + "\n  ".join(
+        mismatched
+    )
+    print(f"artifact files byte-identical: {len(ref_files)}")
+
+    # Manifests agree on every result digest (telemetry fields aside).
+    resumed_digests = manifest_digests(out_resumed)
+    ref_digests = manifest_digests(out_ref)
+    assert resumed_digests == ref_digests, (resumed_digests, ref_digests)
+    print(f"manifest result digests equal: {sorted(resumed_digests)}")
+
+    # The resume actually reused the dead run's state.
+    if interrupted:
+        manifest = json.loads((out_resumed / "manifest.json").read_text())
+        [entry] = manifest["experiments"].values()
+        engine = entry["provenance"]["engine"]
+        reused = engine["cache_hits"] + sum(
+            engine.get("resilience", {}).get(k, 0)
+            for k in ("checkpoint_resumes", "folds_resumed")
+        )
+        print(
+            f"resume reuse: cache_hits={engine['cache_hits']} "
+            f"resilience={engine.get('resilience', {})}"
+        )
+        assert reused > 0, "resumed run reused nothing from the killed run"
+
+    shutil.rmtree(base, ignore_errors=True)
+    print("kill-and-resume smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,555 @@
+"""Chaos lane: recovery is invisible in the numbers, byte for byte.
+
+The engine's seed-derivation contract makes every compute unit a pure
+function of (chip payload, spec, shard seed), so any unit may crash,
+hang, return garbage, take its worker process down, or be preempted
+mid-sweep — and the recovered run must still produce results
+*bit-identical* to an uninterrupted one.  These tests inject each fault
+mode deterministically (:class:`~repro.yieldsim.resilience.FaultSchedule`)
+and assert exactly that, plus the supporting machinery: fold-level
+checkpoint resume, corrupt cache/checkpoint quarantine, pool rebuilds,
+and the serving layer's saturation/deadline/promotion/drain behaviour.
+
+Run standalone with ``pytest -m chaos``; the suite also runs in tier 1.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import SimulationError, UnitFailure
+from repro.serve import BackgroundServer, ServeConfig
+from repro.yieldsim.engine import EnginePoint, SweepEngine
+from repro.yieldsim.executors import InlineExecutor, PoolExecutor, SerialExecutor
+from repro.yieldsim.kernel import PointSpec
+from repro.yieldsim.resilience import (
+    FaultInjectingExecutor,
+    FaultSchedule,
+    InjectedFault,
+    Preemption,
+    RetryPolicy,
+    UnitRunner,
+)
+from repro.yieldsim.stats import StopRule
+
+pytestmark = pytest.mark.chaos
+
+RUNS = 400
+
+#: A fig7-style flat survival grid: 9 points on one chip = 3 chunks of
+#: ``_CHUNK_POINTS=4,4,1`` logical units, so ``crash_every=3`` is
+#: guaranteed to fault a unit.
+GRID = [(0.90 + 0.01 * i, 11 + i) for i in range(9)]
+
+#: Retries without the production backoff sleeps — determinism is what
+#: the lane asserts; wall clock is not part of the contract.
+FAST = RetryPolicy(attempts=3, backoff_base=0.0)
+
+
+def flat_estimates(chip, engine=None):
+    engine = engine if engine is not None else SweepEngine()
+    return [
+        (e.successes, e.trials)
+        for e in engine.survival_estimates(chip, GRID, RUNS)
+    ]
+
+
+def faulted_engine(schedule, inner=None, **engine_kwargs):
+    inner = inner if inner is not None else SerialExecutor()
+    executor = FaultInjectingExecutor(inner, schedule)
+    engine = SweepEngine(executor=executor, **engine_kwargs)
+    return engine, executor
+
+
+# -- retry policy semantics ---------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_is_a_pure_function_of_the_attempt(self):
+        policy = RetryPolicy(
+            attempts=5, backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3
+        )
+        assert [policy.delay(n) for n in range(1, 5)] == [0.1, 0.2, 0.3, 0.3]
+        assert policy.delay(0) == 0.0
+        # Two evaluations agree exactly: no jitter, no clock reads.
+        assert policy.delay(3) == policy.delay(3)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(unit_timeout=0.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(pool_rebuilds=-1)
+
+    def test_as_dict_round_trips(self):
+        policy = RetryPolicy(attempts=4, unit_timeout=1.5)
+        assert RetryPolicy(**policy.as_dict()) == policy
+
+
+# -- flat sweeps under injected faults ---------------------------------------
+
+class TestFlatFaultIdentity:
+    """The acceptance grid: fig7-style flat sweep, every fault mode."""
+
+    def test_crash_every_third_unit_retries_bit_identically(self, dtmb26_chip):
+        clean = flat_estimates(dtmb26_chip)
+        engine, executor = faulted_engine(
+            FaultSchedule(crash_every=3), retry=FAST
+        )
+        assert flat_estimates(dtmb26_chip, engine) == clean
+        assert executor.injected.get("crash", 0) >= 1
+        assert engine.resilience.retries >= 1
+        # The recovery work is attributed to the points the chunk carried.
+        assert any(
+            record.incidents and record.incidents.get("retries")
+            for record in engine.point_log
+        )
+
+    def test_corrupt_payloads_are_rejected_and_recomputed(self, dtmb26_chip):
+        clean = flat_estimates(dtmb26_chip)
+        engine, executor = faulted_engine(
+            FaultSchedule(corrupt_every=1), retry=FAST
+        )
+        assert flat_estimates(dtmb26_chip, engine) == clean
+        assert executor.injected.get("corrupt", 0) >= 3
+        assert engine.resilience.corrupt_units >= 3
+        assert engine.resilience.retries >= 3
+
+    def test_without_a_policy_the_first_crash_propagates(self, dtmb26_chip):
+        engine, _ = faulted_engine(FaultSchedule(crash_every=1))
+        with pytest.raises(InjectedFault):
+            engine.survival_estimates(dtmb26_chip, GRID, RUNS)
+
+    def test_exhausted_attempts_raise_unit_failure(self, dtmb26_chip):
+        engine, _ = faulted_engine(
+            FaultSchedule(crash_every=1, fault_attempts=99),
+            retry=RetryPolicy(attempts=2, backoff_base=0.0),
+        )
+        with pytest.raises(UnitFailure):
+            engine.survival_estimates(dtmb26_chip, GRID, RUNS)
+
+
+# -- pool survival ------------------------------------------------------------
+
+class TestPoolSurvival:
+    def test_killed_worker_breaks_then_rebuilds_the_pool(self, dtmb26_chip):
+        clean = flat_estimates(dtmb26_chip)
+        inner = PoolExecutor(jobs=2)
+        engine, executor = faulted_engine(
+            FaultSchedule(kill_every=3), inner=inner, retry=FAST
+        )
+        assert flat_estimates(dtmb26_chip, engine) == clean
+        assert executor.injected.get("kill", 0) >= 1
+        assert engine.resilience.pool_rebuilds >= 1
+        assert inner.rebuilds >= 1
+
+    def test_hung_unit_times_out_and_is_retried(self, dtmb26_chip):
+        clean = flat_estimates(dtmb26_chip)
+        inner = PoolExecutor(jobs=2)
+        schedule = FaultSchedule(hang_every=3)
+        executor = FaultInjectingExecutor(inner, schedule, hang_seconds=5.0)
+        engine = SweepEngine(
+            executor=executor,
+            retry=RetryPolicy(attempts=3, backoff_base=0.0, unit_timeout=0.25),
+        )
+        assert flat_estimates(dtmb26_chip, engine) == clean
+        assert engine.resilience.timeouts >= 1
+        assert engine.resilience.retries >= 1
+
+    def test_late_but_complete_result_is_kept_serially(self, dtmb26_chip):
+        # A serial executor computes inside submit(), so a "hang" merely
+        # finishes late: the incident is counted, the value kept.
+        clean = flat_estimates(dtmb26_chip)
+        schedule = FaultSchedule(hang_every=3)
+        executor = FaultInjectingExecutor(
+            SerialExecutor(), schedule, hang_seconds=0.05
+        )
+        engine = SweepEngine(
+            executor=executor,
+            retry=RetryPolicy(attempts=3, backoff_base=0.0, unit_timeout=0.01),
+        )
+        assert flat_estimates(dtmb26_chip, engine) == clean
+        assert engine.resilience.timeouts >= 1
+
+
+# -- fold-level checkpoint resume ---------------------------------------------
+
+#: An adaptive (fig9-style) point hard enough that its stop rule never
+#: fires before the preemption point: 10 folds of 200 runs.
+ADAPTIVE_RULE = StopRule(target_half_width=0.005, min_runs=200, batch_runs=200)
+
+
+def adaptive_point(chip):
+    return EnginePoint(
+        chip, PointSpec("survival", 0.93, 2000, 7), None, ADAPTIVE_RULE
+    )
+
+
+class TestCheckpointResume:
+    def test_preempted_adaptive_point_resumes_byte_identically(
+        self, dtmb26_chip, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        [clean] = SweepEngine().run_points([adaptive_point(dtmb26_chip)])
+
+        # Preempt the run after two submitted folds: the journal must
+        # hold exactly those folds when the "process" dies.
+        engine, _ = faulted_engine(
+            FaultSchedule(preempt_after=2),
+            cache_dir=cache, checkpoint=True,
+        )
+        with pytest.raises(Preemption):
+            engine.run_points([adaptive_point(dtmb26_chip)])
+        checkpoints = list((tmp_path / "cache").glob("*.ckpt.json"))
+        assert len(checkpoints) == 1
+
+        # A fresh process resumes from the journal, skips the completed
+        # folds, and lands on the identical estimate.
+        resumed_engine = SweepEngine(cache_dir=cache, checkpoint=True)
+        [resumed] = resumed_engine.run_points([adaptive_point(dtmb26_chip)])
+        assert (resumed.successes, resumed.trials) == (
+            clean.successes,
+            clean.trials,
+        )
+        assert resumed_engine.resilience.checkpoint_resumes == 1
+        assert resumed_engine.resilience.folds_resumed == 2
+        # The journal is cleared once the point completes (the cache
+        # entry takes over).
+        assert not list((tmp_path / "cache").glob("*.ckpt.json"))
+
+        # And a third run is a pure cache hit — still identical.
+        third_engine = SweepEngine(cache_dir=cache, checkpoint=True)
+        [third] = third_engine.run_points([adaptive_point(dtmb26_chip)])
+        assert (third.successes, third.trials) == (clean.successes, clean.trials)
+        assert third_engine.cache_hits == 1
+
+    def test_corrupt_checkpoint_is_quarantined_not_trusted(
+        self, dtmb26_chip, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        [clean] = SweepEngine().run_points([adaptive_point(dtmb26_chip)])
+        engine, _ = faulted_engine(
+            FaultSchedule(preempt_after=2), cache_dir=cache, checkpoint=True
+        )
+        with pytest.raises(Preemption):
+            engine.run_points([adaptive_point(dtmb26_chip)])
+        [ckpt] = list((tmp_path / "cache").glob("*.ckpt.json"))
+        # Flip the journal's content without keeping its digest honest.
+        data = json.loads(ckpt.read_text())
+        data["successes"] = int(data["successes"]) + 1
+        ckpt.write_text(json.dumps(data))
+
+        resumed_engine = SweepEngine(cache_dir=cache, checkpoint=True)
+        [resumed] = resumed_engine.run_points([adaptive_point(dtmb26_chip)])
+        assert (resumed.successes, resumed.trials) == (
+            clean.successes,
+            clean.trials,
+        )
+        assert resumed_engine.resilience.checkpoint_resumes == 0
+        assert resumed_engine.resilience.quarantined >= 1
+        assert list((tmp_path / "cache").glob("*.ckpt.json.corrupt"))
+
+    def test_preemption_under_fault_storm_still_resumes(
+        self, dtmb26_chip, tmp_path
+    ):
+        """Crashes *and* a preemption in one run: the survivors' journal
+        is still enough for a byte-identical resume."""
+        cache = str(tmp_path / "cache")
+        [clean] = SweepEngine().run_points([adaptive_point(dtmb26_chip)])
+        engine, _ = faulted_engine(
+            FaultSchedule(crash_every=2, preempt_after=4),
+            cache_dir=cache, checkpoint=True, retry=FAST,
+        )
+        with pytest.raises(Preemption):
+            engine.run_points([adaptive_point(dtmb26_chip)])
+        resumed_engine = SweepEngine(cache_dir=cache, checkpoint=True)
+        [resumed] = resumed_engine.run_points([adaptive_point(dtmb26_chip)])
+        assert (resumed.successes, resumed.trials) == (
+            clean.successes,
+            clean.trials,
+        )
+        assert resumed_engine.resilience.checkpoint_resumes == 1
+
+
+# -- cache read-path hardening ------------------------------------------------
+
+class TestCacheQuarantine:
+    def _populate(self, chip, cache_dir):
+        engine = SweepEngine(cache_dir=cache_dir)
+        reference = flat_estimates(chip, engine)
+        return reference
+
+    def test_truncated_entries_quarantine_and_recompute(
+        self, dtmb26_chip, tmp_path
+    ):
+        cache = tmp_path / "cache"
+        reference = self._populate(dtmb26_chip, str(cache))
+        entries = [p for p in cache.iterdir() if p.suffix == ".json"]
+        assert entries
+        for path in entries:
+            path.write_text("{\"truncated\": tru")
+
+        engine = SweepEngine(cache_dir=str(cache))
+        assert flat_estimates(dtmb26_chip, engine) == reference
+        assert engine.cache_hits == 0
+        assert engine.resilience.quarantined == len(entries)
+        corpses = [p for p in cache.iterdir() if p.name.endswith(".corrupt")]
+        assert len(corpses) == len(entries)
+
+    def test_digest_mismatch_quarantines_valid_json(
+        self, dtmb26_chip, tmp_path
+    ):
+        cache = tmp_path / "cache"
+        reference = self._populate(dtmb26_chip, str(cache))
+        [victim] = [p for p in cache.iterdir() if p.suffix == ".json"][:1]
+        data = json.loads(victim.read_text())
+        # Valid JSON, plausible shape, silently wrong numbers: exactly
+        # what bit-rot produces.  The digest must catch it.
+        data["successes"] = int(data["successes"]) + 1
+        victim.write_text(json.dumps(data))
+
+        engine = SweepEngine(cache_dir=str(cache))
+        assert flat_estimates(dtmb26_chip, engine) == reference
+        assert engine.resilience.quarantined >= 1
+
+    def test_quarantine_never_raises_to_the_caller(self, dtmb26_chip, tmp_path):
+        cache = tmp_path / "cache"
+        self._populate(dtmb26_chip, str(cache))
+        for path in cache.iterdir():
+            path.write_bytes(b"\x00\xff garbage")
+        # A cache full of garbage behaves exactly like an empty cache.
+        engine = SweepEngine(cache_dir=str(cache))
+        estimates = flat_estimates(dtmb26_chip, engine)
+        assert len(estimates) == len(GRID)
+
+
+# -- the runner itself --------------------------------------------------------
+
+def _identity(x):
+    return x
+
+
+class TestUnitRunner:
+    def test_collect_returns_validated_values(self):
+        executor = InlineExecutor(capacity=4)
+        executor.start(4)
+        runner = UnitRunner(executor, FAST)
+        for i in range(4):
+            runner.submit(("tok", i), _identity, (i,))
+        got = {}
+        while len(runner):
+            got.update(dict(runner.collect()))
+        assert got == {("tok", i): i for i in range(4)}
+
+    def test_validator_rejection_counts_and_retries(self):
+        executor = FaultInjectingExecutor(
+            InlineExecutor(capacity=1), FaultSchedule(corrupt_every=1)
+        )
+        executor.start(1)
+        runner = UnitRunner(executor, FAST)
+        runner.submit("unit", _identity, ((7,),), validator=lambda v: v == (7,))
+        [(token, value)] = runner.collect()
+        assert (token, value) == ("unit", (7,))
+        assert runner.stats.corrupt_units == 1
+        assert runner.incidents["unit"]["corrupt_units"] == 1
+
+    def test_no_rebuild_hook_fails_cleanly(self):
+        class BrokenSubmit:
+            name, capacity = "broken", 1
+
+            def start(self, units_hint):
+                pass
+
+            def submit(self, fn, *args):
+                from concurrent.futures import BrokenExecutor
+
+                raise BrokenExecutor("pool is gone")
+
+        runner = UnitRunner(BrokenSubmit(), FAST)
+        with pytest.raises(UnitFailure):
+            runner.submit("unit", _identity, (1,))
+
+
+# -- serving under pressure ---------------------------------------------------
+
+RUNS_SERVE = 200
+POINT_BODY = {
+    "kind": "survival", "param": 0.95, "runs": RUNS_SERVE, "seed": 5,
+    "design": "DTMB(2,6)", "n": 60,
+}
+
+
+def http_raw(base, path, body=None, timeout=120):
+    """(status, headers dict, parsed JSON body), errors included."""
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method="POST" if body is not None else "GET"
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.loads(
+                response.read()
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class GatedEngine(SweepEngine):
+    """Holds every computation until the test opens the gate."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+
+    def run_points(self, tasks, on_fold=None):
+        assert self.gate.wait(timeout=60), "test never opened the gate"
+        return super().run_points(tasks, on_fold=on_fold)
+
+
+def _wait_until(predicate, timeout=30):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestServeResilience:
+    def test_health_reports_the_resilience_stack(self, tmp_path):
+        config = ServeConfig(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            checkpoint=True,
+            retry=RetryPolicy(attempts=5, unit_timeout=30.0),
+        )
+        with BackgroundServer(config) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            status, _, health = http_raw(url, "/health")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["retry"]["attempts"] == 5
+            assert health["checkpoint"]["enabled"] is True
+            assert health["executor"]["jobs"] == 1
+            assert health["saturated"] is False
+            assert set(health["resilience"]) >= {"retries", "pool_rebuilds"}
+
+    def test_saturation_rejects_with_503_and_retry_after(self):
+        engine = GatedEngine()
+        config = ServeConfig(port=0, max_inflight=1, retry_after_s=2.0)
+        with BackgroundServer(config, engine=engine) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            results = []
+
+            def leader():
+                results.append(http_raw(url, "/points", POINT_BODY, timeout=300))
+
+            thread = threading.Thread(target=leader)
+            thread.start()
+            assert _wait_until(lambda: len(handle.server.points) == 1)
+            # Distinct request while saturated: refused, not queued.
+            status, headers, error = http_raw(
+                url, "/points", dict(POINT_BODY, seed=6)
+            )
+            assert status == 503
+            assert error["error"] == "ServiceUnavailable"
+            assert headers.get("Retry-After") == "2"
+            # Joining the *existing* computation is always admitted.
+            engine.gate.set()
+            thread.join(timeout=300)
+            [(status, _, _)] = results
+            assert status == 200
+            assert handle.server.rejected == 1
+
+    def test_request_deadline_expires_into_503_compute_survives(self, tmp_path):
+        engine = GatedEngine(cache_dir=str(tmp_path / "cache"))
+        config = ServeConfig(port=0, request_timeout=0.3, retry_after_s=1.0)
+        with BackgroundServer(config, engine=engine) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            status, headers, error = http_raw(url, "/points", POINT_BODY)
+            assert status == 503
+            assert error["error"] == "ServiceUnavailable"
+            assert "Retry-After" in headers
+            # The leader's computation was not cancelled: open the gate
+            # and the same request is eventually answered (via the entry
+            # or the cache it fills).
+            engine.gate.set()
+            assert _wait_until(
+                lambda: http_raw(url, "/points", POINT_BODY)[0] == 200,
+                timeout=60,
+            )
+
+    def test_waiters_are_re_led_when_the_leader_dies(self):
+        class FailOnceEngine(GatedEngine):
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self.calls = 0
+                self.lock = threading.Lock()
+
+            def run_points(self, tasks, on_fold=None):
+                assert self.gate.wait(timeout=60)
+                with self.lock:
+                    self.calls += 1
+                    first = self.calls == 1
+                if first:
+                    raise RuntimeError("leader evicted mid-compute")
+                return SweepEngine.run_points(self, tasks, on_fold=on_fold)
+
+        engine = FailOnceEngine()
+        with BackgroundServer(ServeConfig(port=0), engine=engine) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            results = []
+
+            def request():
+                results.append(http_raw(url, "/points", POINT_BODY, timeout=300))
+
+            threads = [threading.Thread(target=request) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            assert _wait_until(lambda: handle.server.points.followers == 1)
+            engine.gate.set()
+            for thread in threads:
+                thread.join(timeout=300)
+            statuses = [status for status, _, _ in results]
+            # A non-deterministic leader death is retried for *every*
+            # waiter: both re-join, one re-leads, everyone gets a real
+            # answer — the computation ran exactly twice, not three times.
+            assert statuses == [200, 200]
+            assert handle.server.points.promotions == 2
+            assert engine.calls == 2
+
+    def test_stop_drains_inflight_requests_before_exiting(self, tmp_path):
+        engine = GatedEngine(cache_dir=str(tmp_path / "cache"))
+        config = ServeConfig(port=0, drain_timeout=30.0)
+        handle = BackgroundServer(config, engine=engine).start()
+        url = f"http://127.0.0.1:{handle.port}"
+        results = []
+
+        def request():
+            results.append(http_raw(url, "/points", POINT_BODY, timeout=300))
+
+        thread = threading.Thread(target=request)
+        thread.start()
+        assert _wait_until(lambda: handle.server.active >= 1)
+
+        stopper = threading.Thread(target=lambda: handle.stop(deadline=60))
+        stopper.start()
+        time.sleep(0.2)  # shutdown initiated while the request is in flight
+        engine.gate.set()
+        thread.join(timeout=300)
+        stopper.join(timeout=300)
+        assert not handle._thread.is_alive()
+        [(status, _, payload)] = results
+        # The in-flight request was drained to completion, not dropped.
+        assert status == 200
+        assert payload["trials"] == RUNS_SERVE
