@@ -1,0 +1,109 @@
+"""Shared-cache economics: a warm store turns compute into transport.
+
+Two claims are benchmarked on the Figure 7 survival grid:
+
+* **Warm wall time.**  A run against a fully populated
+  :class:`SharedFSStore` with a *fresh* local tier must beat the cold
+  (computing) run by a wide margin — the whole point of sharing a cache
+  across a fleet.  The assertion is deliberately loose (2x) because the
+  cold run's cost scales with the Monte-Carlo budget while the warm
+  run's cost is near-constant transport; at the paper's 10 000-run
+  budget the observed ratio is orders of magnitude larger.
+* **Traffic discipline.**  The cold run uploads every point exactly
+  once; the warm run re-uploads nothing, misses nothing, and serves
+  every point from the remote tier.  The store's object count equals
+  the grid size — content addressing deduplicates across runs.
+
+Store overhead on a *cold* run (hashing + envelope + an extra stat call
+per point) is also reported; it must stay under 10% of plain compute.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.designs.catalog import DTMB_1_6
+from repro.designs.interstitial import build_with_primary_count
+from repro.yieldsim.cachestore import SharedFSStore
+from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.sweeps import DEFAULT_P_GRID
+
+FIG7_N = 60
+
+#: Minimum cold/warm speedup; real budgets give orders of magnitude.
+MIN_WARM_SPEEDUP = 2.0
+
+#: Allowed relative overhead of writing through to a store on a cold run.
+MAX_COLD_OVERHEAD = 0.10
+
+#: Absolute jitter floor (seconds), as in bench_resilience.
+JITTER_FLOOR = 0.10
+
+
+def _grid_points(seed):
+    return [(p, seed + i + 1) for i, p in enumerate(DEFAULT_P_GRID)]
+
+
+def _run(engine, chip, runs):
+    return [
+        (e.successes, e.trials)
+        for e in engine.survival_estimates(chip, _grid_points(2005), runs)
+    ]
+
+
+def test_bench_shared_cache_warm_vs_cold(runs, tmp_path):
+    chip = build_with_primary_count(DTMB_1_6, FIG7_N).build()
+    shared = str(tmp_path / "shared-store")
+    points = len(DEFAULT_P_GRID)
+
+    t0 = time.perf_counter()
+    plain = _run(SweepEngine(), chip, runs)
+    t_plain = time.perf_counter() - t0
+
+    cold_engine = SweepEngine(
+        cache_dir=str(tmp_path / "tier-cold"),
+        cache_store=SharedFSStore(shared),
+    )
+    t0 = time.perf_counter()
+    cold = _run(cold_engine, chip, runs)
+    t_cold = time.perf_counter() - t0
+
+    warm_engine = SweepEngine(
+        cache_dir=str(tmp_path / "tier-warm"),  # fresh: only the store is warm
+        cache_store=SharedFSStore(shared),
+    )
+    t0 = time.perf_counter()
+    warm = _run(warm_engine, chip, runs)
+    t_warm = time.perf_counter() - t0
+
+    assert cold == plain and warm == plain  # acceleration, never alteration
+
+    cold_stats = cold_engine.store_stats
+    warm_stats = warm_engine.store_stats
+    assert cold_stats.uploads == points
+    assert warm_stats.uploads == 0
+    assert warm_stats.remote_hits == points
+    assert warm_engine.cache_misses == 0
+    assert len(SharedFSStore(shared).list_keys()) == points
+
+    speedup = t_cold / max(t_warm, 1e-9)
+    overhead = t_cold / max(t_plain, 1e-9) - 1.0
+    report(
+        "Shared cache economics (Fig. 7 grid)",
+        "\n".join([
+            f"runs/point:          {runs}",
+            f"plain compute:       {t_plain:8.3f} s",
+            f"cold (+store):       {t_cold:8.3f} s  "
+            f"({overhead:+.1%} overhead, {cold_stats.bytes_up} B up)",
+            f"warm (fresh tier):   {t_warm:8.3f} s  "
+            f"({speedup:.1f}x vs cold, {warm_stats.bytes_down} B down)",
+            f"store objects:       {points} (one per grid point)",
+        ]),
+    )
+
+    if t_cold > JITTER_FLOOR:
+        assert speedup >= MIN_WARM_SPEEDUP, (t_cold, t_warm)
+    if t_plain > JITTER_FLOOR:
+        assert overhead <= MAX_COLD_OVERHEAD, (t_plain, t_cold)

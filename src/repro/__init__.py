@@ -43,16 +43,19 @@ from repro.errors import ReproError
 __version__ = "1.1.0"
 
 __all__ = [
+    "CacheStore",
     "ReproError",
     "SweepEngine",
     "__version__",
     "get_engine",
     "list_experiments",
     "run_experiment",
+    "store_from_url",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.registry import ExperimentResult
+    from repro.yieldsim.cachestore import CacheStore, store_from_url  # noqa: F401
     from repro.yieldsim.engine import SweepEngine
 
 
@@ -60,16 +63,27 @@ def get_engine(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     shard_runs: Optional[int] = None,
+    cache_url: Optional[str] = None,
 ) -> "SweepEngine":
     """A sweep engine with the standard execution knobs.
 
     The facade over the scheduler/executor split: results are
-    bit-identical whatever ``jobs``/``shard_runs`` you pick, and
-    ``cache_dir`` makes repeated points free.
+    bit-identical whatever ``jobs``/``shard_runs`` you pick,
+    ``cache_dir`` makes repeated points free, and ``cache_url`` mounts
+    a shared :class:`~repro.yieldsim.cachestore.CacheStore` (a path,
+    ``file://``, ``http://`` or ``memory://`` URL) behind it.
     """
     from repro.yieldsim.engine import SweepEngine
 
-    return SweepEngine(jobs=jobs, cache_dir=cache_dir, shard_runs=shard_runs)
+    store = None
+    if cache_url is not None:
+        from repro.yieldsim.cachestore import store_from_url
+
+        store = store_from_url(cache_url)
+    return SweepEngine(
+        jobs=jobs, cache_dir=cache_dir, shard_runs=shard_runs,
+        cache_store=store,
+    )
 
 
 def run_experiment(name: str, **kwargs: object) -> "ExperimentResult":
@@ -99,6 +113,8 @@ def list_experiments() -> dict:
 #: import at startup) while ``repro.SweepEngine`` keeps working.
 _LAZY = {
     "SweepEngine": ("repro.yieldsim.engine", "SweepEngine"),
+    "CacheStore": ("repro.yieldsim.cachestore", "CacheStore"),
+    "store_from_url": ("repro.yieldsim.cachestore", "store_from_url"),
 }
 
 

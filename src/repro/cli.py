@@ -68,6 +68,7 @@ from repro.experiments import registry
 from repro.experiments.artifacts import ArtifactRun
 from repro.experiments.registry import Experiment, ExperimentResult
 from repro.viz.export import write_csv
+from repro.yieldsim.cachestore import store_from_url
 from repro.yieldsim.defects import ModelFamily, family_from_spec
 from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -123,9 +124,17 @@ def add_engine_options(p: argparse.ArgumentParser) -> None:
              "across the worker pool",
     )
     p.add_argument(
-        "--cache", type=str, default=None, metavar="DIR",
+        "--cache", "--cache-dir", type=str, default=None, metavar="DIR",
         help="on-disk sweep result cache directory (keyed by chip, "
              "parameter, runs and seed; reruns cost nothing)",
+    )
+    p.add_argument(
+        "--cache-url", type=str, default=None, metavar="URL",
+        help="shared cache store to read through to and publish points "
+             "into: http(s)://HOST:PORT (a `repro cache-serve` "
+             "endpoint) or a shared-filesystem path.  Layered behind "
+             "--cache as a local tier; a dead remote degrades to "
+             "recomputation, never an error",
     )
     p.add_argument(
         "--retries", type=int, default=None, metavar="N",
@@ -256,6 +265,7 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
     """
     jobs = getattr(args, "jobs", 1)
     cache = getattr(args, "cache", None) or None  # "" means no cache
+    cache_url = getattr(args, "cache_url", None) or None
     shard_runs = getattr(args, "shard_runs", None)
     retry = _retry_from_args(args)
     checkpoint = bool(getattr(args, "checkpoint", False))
@@ -264,6 +274,7 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
     if (
         jobs == 1
         and cache is None
+        and cache_url is None
         and shard_runs is None
         and retry is None
         and not checkpoint
@@ -287,6 +298,7 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
         shard_runs=shard_runs,
         retry=retry,
         checkpoint=checkpoint,
+        cache_store=store_from_url(cache_url) if cache_url else None,
     )
 
 
@@ -477,6 +489,7 @@ def _all_unit(
     model_spec: Optional[str],
     criterion_spec: Optional[str],
     cache_dir: Optional[str],
+    cache_url: Optional[str],
     shard_runs: Optional[int],
     retries: Optional[int],
     unit_timeout: Optional[float],
@@ -499,15 +512,19 @@ def _all_unit(
     retry = _retry_policy(retries, unit_timeout)
     if (
         cache_dir is not None
+        or cache_url is not None
         or shard_runs is not None
         or retry is not None
         or checkpoint
     ):
+        # The store is rebuilt from its URL inside the worker: live store
+        # objects (sockets, open dirs) need not cross the process boundary.
         engine = SweepEngine(
             cache_dir=cache_dir,
             shard_runs=shard_runs,
             retry=retry,
             checkpoint=checkpoint,
+            cache_store=store_from_url(cache_url) if cache_url else None,
         )
     knobs: dict = {}
     if model_spec and experiment.model_knob:
@@ -591,6 +608,7 @@ def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
                 getattr(args, "defect_model", None),
                 getattr(args, "criterion", None),
                 getattr(args, "cache", None) or None,
+                getattr(args, "cache_url", None) or None,
                 getattr(args, "shard_runs", None),
                 getattr(args, "retries", None),
                 getattr(args, "unit_timeout", None),
@@ -711,6 +729,26 @@ def _run_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         max_inflight=args.max_inflight,
         drain_timeout=args.drain_timeout,
+        cache_url=getattr(args, "cache_url", None) or None,
+        cache_objects=getattr(args, "cache_objects", None) or None,
+    )
+    return serve_forever(config)
+
+
+def _run_cache_serve(args: argparse.Namespace) -> int:
+    """`repro cache-serve`: just the content-addressed object endpoint.
+
+    The same asyncio server as `repro serve`, with the /cache routes
+    mounted over the given object directory; experiment/point routes stay
+    available but run with a minimal engine.
+    """
+    from repro.serve.app import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_objects=args.dir,
+        max_body_bytes=args.max_body_bytes,
     )
     return serve_forever(config)
 
@@ -829,8 +867,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM/SIGINT, stop accepting connections and give "
              "in-flight requests up to S seconds to finish",
     )
+    serve.add_argument(
+        "--cache-objects", type=str, default=None, metavar="DIR",
+        help="also serve this content-addressed object tree under "
+             "/cache/objects/{digest} (what `repro cache-serve` does "
+             "standalone)",
+    )
     add_engine_options(serve)
     serve.set_defaults(handler=_run_serve)
+
+    cache_serve = sub.add_parser(
+        "cache-serve",
+        help="serve a shared content-addressed point/bundle cache over "
+             "HTTP (GET/PUT/HEAD /cache/objects/{digest}; engines join "
+             "it with --cache-url)",
+    )
+    cache_serve.add_argument("--host", default="127.0.0.1")
+    cache_serve.add_argument("--port", type=int, default=8766)
+    cache_serve.add_argument(
+        "--dir", type=str, required=True, metavar="DIR",
+        help="object tree root (the same layout --cache-url DIR reads "
+             "directly over a shared filesystem)",
+    )
+    cache_serve.add_argument(
+        "--max-body-bytes", type=int, default=1 << 20, metavar="N",
+        help="largest accepted object upload",
+    )
+    cache_serve.set_defaults(handler=_run_cache_serve)
 
     gallery = sub.add_parser("gallery", help="write the HTML design gallery")
     gallery.add_argument("--out", default="designs.html")

@@ -24,6 +24,7 @@ __all__ = [
     "AssayError",
     "TestPlanError",
     "SimulationError",
+    "StoreError",
     "UnitFailure",
     "ExperimentError",
     "ArtifactError",
@@ -108,6 +109,16 @@ class UnitFailure(SimulationError):
     Raised by :class:`~repro.yieldsim.resilience.UnitRunner` once a unit
     has exhausted its bounded attempts (or a broken process pool its
     rebuild budget); the original cause rides along as ``__cause__``.
+    """
+
+
+class StoreError(SimulationError):
+    """A cache store was misconfigured or a transport call failed.
+
+    Raised by :mod:`repro.yieldsim.cachestore` implementations; on the
+    engine's read/write path :class:`TieredCache` absorbs it (a remote
+    failure degrades to a cache miss plus a logged incident), so it only
+    propagates for configuration errors or direct store use.
     """
 
 

@@ -51,6 +51,7 @@ from typing import (
 
 from repro.errors import ExperimentError
 from repro.yieldsim.engine import SweepEngine
+from repro.yieldsim.cachestore import StoreStats
 from repro.yieldsim.resilience import ResilienceStats
 from repro.yieldsim.stats import StopRule
 
@@ -335,6 +336,12 @@ class Provenance:
     #: telemetry like the funnel: manifest only, never the stable dict —
     #: a recovered run's *results* are identical to an uninterrupted one.
     resilience: Optional[Dict[str, int]] = None
+    #: nonzero tiered cache-store traffic (local/remote hits and misses,
+    #: uploads, bytes up/down) when the engine ran with a shared store;
+    #: None otherwise.  Volatile telemetry like resilience: manifest
+    #: only, never the stable dict — where a point came from can never
+    #: change its value.
+    cache: Optional[Dict[str, int]] = None
 
     def _defect_model_block(self) -> Dict[str, object]:
         """The ``defect_models`` entry, present only for model dispatches.
@@ -387,6 +394,9 @@ class Provenance:
                     if self.resilience
                     else {}
                 ),
+                # Tier traffic of the shared cache store, when one was
+                # configured; absent otherwise so legacy manifests compare.
+                **({"cache": dict(self.cache)} if self.cache else {}),
             },
             "budget": {
                 "stop_rule": self.stop_rule,
@@ -649,6 +659,7 @@ def execute(
     track = engine if engine is not None else default_engine()
     hits0, misses0 = track.cache_hits, track.cache_misses
     res0 = track.resilience.as_dict()
+    store0 = track.store_stats.as_dict()
     log0 = len(track.point_log)
     knobs = dict(knobs or {})
     if rule is not None:
@@ -708,6 +719,9 @@ def execute(
         criterion_funnel=funnel,
         resilience=(
             ResilienceStats.delta(res0, track.resilience.as_dict()) or None
+        ),
+        cache=(
+            StoreStats.delta(store0, track.store_stats.as_dict()) or None
         ),
     )
     return ExperimentResult(

@@ -58,6 +58,12 @@ from repro.serve.protocol import (
     error_payload,
     experiment_listing,
 )
+from repro.yieldsim.cachestore import (
+    SharedFSStore,
+    content_digest,
+    store_from_url,
+    valid_key,
+)
 from repro.yieldsim.defects import family_from_spec
 from repro.yieldsim.engine import SweepEngine
 from repro.yieldsim.kernel import PointSpec
@@ -69,6 +75,8 @@ __all__ = ["ServeConfig", "ReproServer", "BackgroundServer", "serve_forever"]
 
 _HTTP_REASONS = {
     200: "OK",
+    201: "Created",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -110,6 +118,14 @@ class ServeConfig:
     retry_after_s: float = 1.0
     #: how long shutdown waits for in-flight requests to finish draining
     drain_timeout: float = 10.0
+    #: remote cache-store URL the *engine* reads through to
+    #: (``--cache-url``: another server's /cache endpoint, or a shared
+    #: filesystem path)
+    cache_url: Optional[str] = None
+    #: directory of a content-addressed object tree this server *serves*
+    #: under ``/cache/objects/{digest}`` (the ``repro cache-serve``
+    #: entry point; also mountable on a full ``repro serve``)
+    cache_objects: Optional[str] = None
 
 
 def _normalize_design(name: str) -> str:
@@ -141,6 +157,17 @@ class ReproServer:
             shard_runs=config.shard_runs,
             retry=config.retry,
             checkpoint=config.checkpoint,
+            cache_store=(
+                store_from_url(config.cache_url)
+                if config.cache_url is not None
+                else None
+            ),
+        )
+        #: the object tree served under /cache/objects (None = not mounted)
+        self.object_store: Optional[SharedFSStore] = (
+            SharedFSStore(config.cache_objects)
+            if config.cache_objects is not None
+            else None
         )
         #: serializes engine compute; the engine parallelizes internally
         self._compute_lock = threading.Lock()
@@ -367,8 +394,24 @@ class ReproServer:
                 "cache_misses": self.engine.cache_misses,
                 "runs_requested": self.engine.runs_requested,
                 "runs_effective": self.engine.runs_effective,
+                **(
+                    {"cache": self.engine.store_stats.as_dict()}
+                    if self.engine.cache_store is not None
+                    else {}
+                ),
             },
             "resilience": self.engine.resilience.as_dict(),
+            **(
+                {
+                    "cache_objects": {
+                        "dir": self.config.cache_objects,
+                        "count": len(self.object_store.list_keys()),
+                        "corrupt": self.object_store.corrupt,
+                    }
+                }
+                if self.object_store is not None
+                else {}
+            ),
         }
 
     def health_payload(self) -> Dict[str, object]:
@@ -409,6 +452,8 @@ class ReproServer:
                 "POST /points",
                 "GET /stats",
                 "GET /health",
+                "GET|HEAD|PUT /cache/objects/{digest}",
+                "GET /cache/keys",
             ],
         }
 
@@ -463,7 +508,7 @@ class ReproServer:
         self.requests += 1
         path = target.partition("?")[0]
         try:
-            await self._route(method.upper(), path, body, writer)
+            await self._route(method.upper(), path, body, headers, writer)
         except ServeError as exc:
             self.errors += 1
             await self._send_json(writer, 400, error_payload(exc))
@@ -481,8 +526,12 @@ class ReproServer:
             await self._send_json(writer, 500, error_payload(exc))
 
     async def _route(
-        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+        self, method: str, path: str, body: bytes,
+        headers: Dict[str, str], writer: asyncio.StreamWriter,
     ) -> None:
+        if path.startswith("/cache/"):
+            await self._handle_cache(method, path, body, headers, writer)
+            return
         if path == "/points":
             if method != "POST":
                 await self._send_json(
@@ -707,7 +756,118 @@ class ReproServer:
         payload["coalesced"] = not leader
         await self._send_json(writer, 200, payload)
 
+    # -- the cache-object endpoint ---------------------------------------------
+    async def _handle_cache(
+        self, method: str, path: str, body: bytes,
+        headers: Dict[str, str], writer: asyncio.StreamWriter,
+    ) -> None:
+        """``GET/PUT/HEAD /cache/objects/{key}`` and ``GET /cache/keys``.
+
+        The HTTP face of a :class:`SharedFSStore`: digests travel in
+        ``X-Repro-Digest`` both ways, a PUT whose body does not hash to
+        its declared digest is refused (a truncated upload stores
+        nothing), and a GET whose ``If-None-Match`` equals the object's
+        digest is answered 304 with no body.
+        """
+        store = self.object_store
+        if store is None:
+            await self._send_json(
+                writer, 404,
+                {"error": "NotFound",
+                 "message": "no cache store mounted (start with "
+                            "`repro cache-serve` or --cache-objects)"},
+            )
+            return
+        if path == "/cache/keys":
+            if method != "GET":
+                await self._send_json(
+                    writer, 405,
+                    {"error": "MethodNotAllowed", "message": "GET /cache/keys"},
+                )
+                return
+            keys = store.list_keys()
+            await self._send_json(
+                writer, 200,
+                {"schema": PROTOCOL_SCHEMA, "count": len(keys), "keys": keys},
+            )
+            return
+        if not path.startswith("/cache/objects/"):
+            await self._send_json(
+                writer, 404,
+                {"error": "NotFound", "message": f"no route {method} {path}"},
+            )
+            return
+        key = path[len("/cache/objects/"):]
+        if not valid_key(key):
+            await self._send_json(
+                writer, 400,
+                {"error": "BadRequest", "message": f"invalid object key {key!r}"},
+            )
+            return
+        if method in ("GET", "HEAD"):
+            payload = store.get(key)
+            if payload is None:
+                await self._send_json(
+                    writer, 404,
+                    {"error": "NotFound", "message": f"no object {key}"},
+                )
+                return
+            digest = content_digest(payload)
+            if headers.get("if-none-match", "").strip('"') == digest:
+                await self._send_json(
+                    writer, 304, {}, extra_headers={"X-Repro-Digest": digest}
+                )
+                return
+            await self._send_bytes(
+                writer, 200, payload, digest, head_only=(method == "HEAD")
+            )
+            return
+        if method == "PUT":
+            declared = headers.get("x-repro-digest")
+            got = content_digest(body)
+            if declared is not None and declared != got:
+                # The body that arrived is not the body the client hashed:
+                # a truncated or corrupted upload.  Nothing is stored.
+                await self._send_json(
+                    writer, 400,
+                    {"error": "BadRequest",
+                     "message": f"body digest {got[:16]}... does not match "
+                                f"declared {declared[:16]}...; upload refused"},
+                )
+                return
+            stored = store.put(key, body)
+            await self._send_json(
+                writer, 201 if stored else 200,
+                {"schema": PROTOCOL_SCHEMA, "key": key, "stored": stored,
+                 "digest": got},
+            )
+            return
+        await self._send_json(
+            writer, 405,
+            {"error": "MethodNotAllowed",
+             "message": "GET, HEAD or PUT /cache/objects/{key}"},
+        )
+
     # -- response helpers ------------------------------------------------------
+    async def _send_bytes(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        digest: str,
+        head_only: bool = False,
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/octet-stream\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"X-Repro-Digest: {digest}\r\n"
+            f'ETag: "{digest}"\r\n'
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + (b"" if head_only else payload))
+        await writer.drain()
+
     async def _send_json(
         self,
         writer: asyncio.StreamWriter,
@@ -832,7 +992,8 @@ def serve_forever(config: ServeConfig, engine: Optional[SweepEngine] = None) -> 
         print(
             f"repro serve: listening on http://{config.host}:{port} "
             f"(jobs={config.jobs}, cache={config.cache_dir or '-'}, "
-            f"out={config.out_dir or '-'})",
+            f"out={config.out_dir or '-'}, "
+            f"objects={config.cache_objects or '-'})",
             file=sys.stderr,
         )
 

@@ -81,6 +81,14 @@ import numpy as np
 
 from repro.chip.biochip import Biochip
 from repro.errors import SimulationError
+from repro.yieldsim.cachestore import (
+    CacheStore,
+    LocalStore,
+    MemoryStore,
+    StoreStats,
+    TieredCache,
+    entry_validator,
+)
 from repro.yieldsim.executors import Executor, default_executor
 from repro.yieldsim.kernel import PointSpec, ScreenStats
 from repro.yieldsim.resilience import ResilienceStats, RetryPolicy
@@ -241,6 +249,17 @@ class SweepEngine:
         point resumes at the fold it reached with byte-identical output.
         Requires ``cache_dir``; flat points are already covered by the
         point cache itself.
+    cache_store:
+        A remote :class:`~repro.yieldsim.cachestore.CacheStore` (shared
+        filesystem or HTTP) layered behind the local cache as a
+        :class:`~repro.yieldsim.cachestore.TieredCache`: point reads
+        fall through to it, point writes are uploaded put-if-absent, so
+        a fleet of engines reuses each other's points.  Works with or
+        without ``cache_dir`` (without one, the local tier is in-memory
+        for the life of the engine).  A dead or corrupt remote degrades
+        to misses plus counted incidents (:attr:`store_stats`), never an
+        exception — and never changes any number.  Checkpoints stay
+        local-only.
     """
 
     def __init__(
@@ -253,6 +272,7 @@ class SweepEngine:
         executor: Optional[Executor] = None,
         retry: Optional[RetryPolicy] = None,
         checkpoint: bool = False,
+        cache_store: Optional[CacheStore] = None,
     ):
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -266,11 +286,29 @@ class SweepEngine:
         self.executor = executor
         self.retry = retry
         self.checkpoint = checkpoint
+        self.cache_store = cache_store
         #: incident counters shared by the cache, scheduler and serve layer
         self.resilience = ResilienceStats()
+        #: tier traffic counters (all zero unless a cache_store is set)
+        self.store_stats = StoreStats()
+        store: Optional[CacheStore] = None
+        if cache_store is not None:
+            local: CacheStore = (
+                LocalStore(cache_dir, stats=self.resilience)
+                if cache_dir is not None
+                else MemoryStore()
+            )
+            store = TieredCache(
+                local,
+                cache_store,
+                stats=self.store_stats,
+                resilience=self.resilience,
+                validator=entry_validator,
+            )
         #: the pure scheduling core (key derivation, cache, fold order)
         self.cache = PointCache(
-            cache_dir, np.dtype(dtype).name, stats=self.resilience
+            cache_dir, np.dtype(dtype).name, stats=self.resilience,
+            store=store,
         )
         self.scheduler = PointScheduler(
             self.cache, dtype=dtype, shard_runs=shard_runs,

@@ -191,10 +191,13 @@ class ResilienceStats:
     folds_resumed: int = 0
     #: cache/checkpoint files quarantined as corrupt (renamed *.corrupt)
     quarantined: int = 0
+    #: remote cache-store calls that failed and degraded to a local miss
+    remote_errors: int = 0
 
     _FIELDS = (
         "retries", "timeouts", "corrupt_units", "pool_rebuilds",
         "checkpoint_resumes", "folds_resumed", "quarantined",
+        "remote_errors",
     )
 
     def as_dict(self) -> Dict[str, int]:

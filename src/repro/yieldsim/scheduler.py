@@ -49,6 +49,13 @@ from repro.chip.cell import Cell, CellRole
 from repro.errors import SimulationError
 from repro.geometry.hex import Hex
 from repro.geometry.square import Square
+from repro.yieldsim.cachestore import (
+    CacheStore,
+    LocalStore,
+    decode_entry,
+    encode_entry,
+    entry_digest,
+)
 from repro.yieldsim.executors import Executor
 from repro.yieldsim.kernel import (
     PointSpec,
@@ -281,6 +288,15 @@ class PointCache:
     hits/misses counters then stay zero, matching the engine's historical
     accounting (misses are only counted when a cache is actually on).
 
+    Entry storage is delegated to a
+    :class:`~repro.yieldsim.cachestore.CacheStore`: by default a
+    :class:`~repro.yieldsim.cachestore.LocalStore` over ``cache_dir``
+    (byte-identical to the historical layout), but the engine can inject
+    a :class:`~repro.yieldsim.cachestore.TieredCache` to read through to
+    a shared remote store.  Fold checkpoints are deliberately **not**
+    routed through the store: they are mid-flight private state of one
+    run, meaningless to a fleet, and stay local files under ``dir``.
+
     Every entry carries a content digest, verified on load: a truncated,
     bit-rotted or hand-edited file is *quarantined* (renamed ``*.corrupt``,
     counted in ``stats.quarantined``) and treated as a miss — the read
@@ -296,7 +312,8 @@ class PointCache:
 
     def __init__(self, cache_dir: Optional[str], dtype_name: str,
                  version: int = ENGINE_VERSION,
-                 stats: Optional[ResilienceStats] = None):
+                 stats: Optional[ResilienceStats] = None,
+                 store: Optional["CacheStore"] = None):
         if cache_dir is not None and os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
             raise SimulationError(
                 f"cache path {cache_dir!r} exists and is not a directory"
@@ -307,6 +324,12 @@ class PointCache:
         self.hits = 0
         self.misses = 0
         self.stats = stats if stats is not None else ResilienceStats()
+        if store is not None:
+            self.backend: Optional[CacheStore] = store
+        elif cache_dir is not None:
+            self.backend = LocalStore(cache_dir, stats=self.stats)
+        else:
+            self.backend = None
 
     # -- keys -----------------------------------------------------------------
     def key(
@@ -356,8 +379,7 @@ class PointCache:
     @staticmethod
     def _entry_digest(entry: Dict[str, object]) -> str:
         """Content digest of an entry (excluding its own ``digest`` field)."""
-        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+        return entry_digest(entry)
 
     def _quarantine(self, path: str) -> None:
         """Move a corrupt file aside so it is recomputed, never re-read."""
@@ -423,7 +445,7 @@ class PointCache:
         A non-hit counts as a miss (the point will have to be computed);
         with no cache directory nothing is counted at all.
         """
-        if self.dir is None:
+        if self.backend is None:
             return None
         entry = self._read(key, spec, batched)
         if entry is None:
@@ -439,7 +461,13 @@ class PointCache:
             # A seedless batched point has fresh entropy every time; a
             # cache entry for it would be a false hit.
             return None
-        data = self._verified(self._path(key))
+        blob = self.backend.get(key)
+        if blob is None:
+            return None
+        # The store verified transport/storage integrity; decode_entry
+        # re-checks the embedded digest (the safety net for tiers that
+        # store arbitrary bytes) before semantic validation below.
+        data = decode_entry(blob)
         if data is None:
             return None
         try:
@@ -463,7 +491,7 @@ class PointCache:
         batched: bool = False,
         stop: Optional[StopRule] = None,
     ) -> None:
-        if self.dir is None or (batched and spec.seed is None):
+        if self.backend is None or (batched and spec.seed is None):
             return
         entry: Dict[str, object] = {
             "successes": successes,
@@ -476,7 +504,7 @@ class PointCache:
         if batched:
             entry["requested"] = spec.runs
             entry["stop"] = stop.digest() if stop is not None else None
-        self._write(self._path(key), entry)
+        self.backend.put(key, encode_entry(entry))
 
     # -- fold checkpoints ------------------------------------------------------
     def load_checkpoint(

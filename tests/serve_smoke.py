@@ -8,6 +8,11 @@ the offline results:
 2. ``POST /experiments/fig9`` at a small budget must return a bundle
    whose digest equals the provenance digest a local artifact run
    (the ``repro fig9 --out`` path) records in ``manifest.json``.
+3. The ``/cache/objects`` endpoint (``--cache-objects``) must round-trip
+   payloads byte-exactly through :class:`HTTPStore`, refuse a
+   digest-mismatched upload, and store objects readable directly off the
+   mounted :class:`SharedFSStore` tree — transport parity between the
+   two remote store implementations.
 
 Exits non-zero on any mismatch.  Run as::
 
@@ -19,6 +24,7 @@ from __future__ import annotations
 import json
 import sys
 import tempfile
+import urllib.error
 import urllib.request
 
 RUNS = 200
@@ -37,13 +43,21 @@ def post(base: str, path: str, body: dict, timeout: float = 600) -> dict:
 def main() -> int:
     from repro.designs.catalog import DTMB_1_6
     from repro.designs.interstitial import build_with_primary_count
+    from repro.errors import StoreError
     from repro.experiments import registry
     from repro.experiments.artifacts import ArtifactRun
     from repro.serve import BackgroundServer, ServeConfig
+    from repro.yieldsim.cachestore import (
+        HTTPStore,
+        SharedFSStore,
+        content_digest,
+        encode_entry,
+    )
     from repro.yieldsim.engine import EnginePoint, SweepEngine
     from repro.yieldsim.kernel import PointSpec
 
     out_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    objects_dir = tempfile.mkdtemp(prefix="serve-smoke-objects-")
 
     # The offline references: one fig7 point and the fig9 bundle, both
     # produced without the server in the loop.
@@ -58,7 +72,9 @@ def main() -> int:
     manifest = json.load(open(manifest_path))
     local_digest = manifest["experiments"]["fig9"]["provenance"]["digest"]
 
-    with BackgroundServer(ServeConfig(port=0)) as handle:
+    with BackgroundServer(
+        ServeConfig(port=0, cache_objects=objects_dir)
+    ) as handle:
         base = f"http://127.0.0.1:{handle.port}"
 
         served_point = post(base, "/points", {
@@ -85,11 +101,47 @@ def main() -> int:
             "local artifact manifest"
         )
 
+        # HTTPStore parity with the mounted SharedFSStore tree.
+        store = HTTPStore(base)
+        payload = encode_entry({"successes": 42, "trials": RUNS, "smoke": 1})
+        key = content_digest(payload)
+        assert store.put(key, payload) is True
+        assert store.put(key, payload) is False  # put-if-absent over HTTP
+        assert store.get(key) == payload
+        assert store.exists(key)
+        assert key in store.list_keys()
+        assert SharedFSStore(objects_dir).get(key) == payload, (
+            "object served over HTTP must be readable off the FS tree"
+        )
+        try:
+            # A truncated body under a full digest must be refused.
+            bogus = content_digest(b"something else entirely")
+            urllib.request.urlopen(
+                urllib.request.Request(
+                    f"{base}/cache/objects/{bogus}",
+                    data=payload[: len(payload) // 2],
+                    method="PUT",
+                    headers={"X-Repro-Digest": bogus},
+                ),
+                timeout=30,
+            )
+            raise AssertionError("digest-mismatched PUT was accepted")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400, exc.code
+        assert not store.exists(bogus)
+        try:
+            store.get("not-a-valid-key")
+            raise AssertionError("invalid key was accepted")
+        except StoreError:
+            pass
+        print(f"cache transport OK: HTTPStore round-trip of {key[:12]}…")
+
         stats = json.loads(
             urllib.request.urlopen(base + "/stats", timeout=30).read()
         )
         assert stats["points"]["computed"] == 1
         assert stats["bundles"]["computed"] == 1
+        assert stats["cache_objects"]["count"] == 1
         print("serve smoke passed")
     return 0
 

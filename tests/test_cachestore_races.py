@@ -1,0 +1,124 @@
+"""Concurrent-writer races on :class:`SharedFSStore`.
+
+The shared store's whole claim is that any number of uncoordinated
+writers — separate *processes*, as in a sweep fleet sharing one
+filesystem — converge on exactly one object per key, and that a reader
+racing those writers sees either nothing or a complete, digest-verified
+payload.  These tests hammer one store from several processes and check
+both halves of the claim.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+from repro.yieldsim.cachestore import (
+    SharedFSStore,
+    content_digest,
+    decode_entry,
+    encode_entry,
+)
+
+N_PROCS = 6
+N_KEYS = 16
+ROUNDS = 8
+
+
+def _payload(i: int) -> bytes:
+    return encode_entry({"successes": i, "trials": i + 5, "round": "race"})
+
+
+def _keys():
+    return [(content_digest(_payload(i)), _payload(i)) for i in range(N_KEYS)]
+
+
+def _writer(root: str, worker: int, out: "mp.Queue") -> None:
+    """Repeatedly put every key; report how many puts claimed the write."""
+    store = SharedFSStore(root)
+    wins = 0
+    pairs = _keys()
+    for round_no in range(ROUNDS):
+        # Stagger the order per worker so collisions hit mid-write, not
+        # in lockstep.
+        offset = (worker * 5 + round_no) % N_KEYS
+        for key, data in pairs[offset:] + pairs[:offset]:
+            if store.put(key, data):
+                wins += 1
+    out.put(("writer", worker, wins))
+
+
+def _reader(root: str, worker: int, out: "mp.Queue") -> None:
+    """Poll every key while writers run; every observed payload must be
+    complete and must decode as a valid self-verifying entry."""
+    store = SharedFSStore(root)
+    pairs = _keys()
+    torn = 0
+    seen = 0
+    for _ in range(ROUNDS * 4):
+        for key, data in pairs:
+            blob = store.get(key)
+            if blob is None:
+                continue
+            seen += 1
+            if blob != data or decode_entry(blob) is None:
+                torn += 1
+    out.put(("reader", worker, (seen, torn, store.corrupt)))
+
+
+def test_concurrent_writers_converge_on_one_object_per_key(tmp_path):
+    root = str(tmp_path / "shared")
+    ctx = mp.get_context("spawn")
+    out: mp.Queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_writer, args=(root, i, out))
+        for i in range(N_PROCS)
+    ]
+    for proc in procs:
+        proc.start()
+    results = [out.get(timeout=120) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    # Every put claimed by exactly one winner per (key, lifetime): the
+    # object tree holds one file per key and no stray tmp files.
+    total_wins = sum(wins for kind, _, wins in results if kind == "writer")
+    assert total_wins == N_KEYS
+
+    store = SharedFSStore(root)
+    assert store.list_keys() == sorted(k for k, _ in _keys())
+    for key, data in _keys():
+        assert store.get(key) == data
+    objects = os.path.join(root, "objects")
+    for shard in os.listdir(objects):
+        for name in os.listdir(os.path.join(objects, shard)):
+            assert ".tmp." not in name and not name.endswith(".corrupt")
+
+
+def test_readers_racing_writers_never_see_torn_objects(tmp_path):
+    root = str(tmp_path / "shared")
+    ctx = mp.get_context("spawn")
+    out: mp.Queue = ctx.Queue()
+    writers = [
+        ctx.Process(target=_writer, args=(root, i, out))
+        for i in range(N_PROCS // 2)
+    ]
+    readers = [
+        ctx.Process(target=_reader, args=(root, i, out))
+        for i in range(N_PROCS // 2)
+    ]
+    for proc in writers + readers:
+        proc.start()
+    results = [out.get(timeout=120) for _ in writers + readers]
+    for proc in writers + readers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    reader_results = [val for kind, _, val in results if kind == "reader"]
+    assert reader_results
+    total_seen = sum(seen for seen, _, _ in reader_results)
+    assert total_seen > 0  # the race actually overlapped
+    for seen, torn, corrupt in reader_results:
+        assert torn == 0
+        assert corrupt == 0
