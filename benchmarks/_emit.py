@@ -1,0 +1,85 @@
+"""Machine-readable benchmark results.
+
+:func:`emit` writes one ``BENCH_<name>.json`` per benchmark into
+``$REPRO_BENCH_OUT`` (default ``bench_results/``), carrying the headline
+wall time and throughput next to the budget knobs that produced them and
+the git revision they were measured at — enough for a dashboard or a
+regression diff across commits without re-parsing pytest output.
+
+The emission is telemetry and therefore best-effort: an unwritable
+output directory or a git-less checkout degrades the payload, never the
+benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Dict, Optional
+
+__all__ = ["emit"]
+
+#: Version of the BENCH_*.json payload shape.
+BENCH_SCHEMA = 1
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _budget() -> Dict[str, object]:
+    """The env knobs the benchmark harness ran under (see conftest)."""
+    return {
+        "runs": int(os.environ.get("REPRO_BENCH_RUNS", "10000")),
+        "jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        "cache": bool(os.environ.get("REPRO_BENCH_CACHE")),
+    }
+
+
+def emit(
+    name: str,
+    *,
+    wall_s: float,
+    throughput: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Optional[str]:
+    """Write ``BENCH_<name>.json``; returns its path (None on failure).
+
+    ``wall_s`` is the benchmark's headline timing (typically a best-of-N
+    minimum), ``throughput`` its natural rate (runs/s, points/s — the
+    benchmark picks the unit and documents it in ``extra``).
+    """
+    out_dir = os.environ.get("REPRO_BENCH_OUT") or "bench_results"
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "wall_s": round(float(wall_s), 6),
+        "throughput": (
+            round(float(throughput), 3) if throughput is not None else None
+        ),
+        "budget": _budget(),
+        "git_sha": _git_sha(),
+        "written_at": round(time.time(), 3),
+    }
+    if extra:
+        payload["extra"] = extra
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError:
+        return None
+    return path

@@ -67,6 +67,8 @@ from repro.errors import CriterionError, ExperimentError, FaultModelError
 from repro.experiments import registry
 from repro.experiments.artifacts import ArtifactRun
 from repro.experiments.registry import Experiment, ExperimentResult
+from repro.obs.events import configure_logging, get_logger, log_event
+from repro.obs.trace import Tracer
 from repro.viz.export import write_csv
 from repro.yieldsim.cachestore import store_from_url
 from repro.yieldsim.defects import ModelFamily, family_from_spec
@@ -82,7 +84,10 @@ __all__ = [
     "add_model_options",
     "add_criterion_options",
     "add_render_options",
+    "add_observability_options",
 ]
+
+_log = get_logger("cli")
 
 
 # --- shared option layers ----------------------------------------------------
@@ -198,6 +203,44 @@ def add_criterion_options(p: argparse.ArgumentParser) -> None:
     )
 
 
+def add_observability_options(
+    p: argparse.ArgumentParser, *, trace: bool = True
+) -> None:
+    """--trace/--log-level/--log-json/--log-file: telemetry knobs.
+
+    All of them are out-of-band by the telemetry invariant: fixed-seed
+    artifacts are byte-identical with tracing and logging on, off, or
+    broken.  ``trace=False`` omits the --trace flag for surfaces that
+    trace per request instead of per run (`repro serve`).
+    """
+    if trace:
+        p.add_argument(
+            "--trace", type=str, default=None, metavar="FILE",
+            help="write a Chrome trace-event JSON of the run's compute "
+                 "spans (points, units, folds, cache traffic) to FILE; "
+                 "open it in Perfetto or chrome://tracing.  Results are "
+                 "bit-identical with or without it",
+        )
+    p.add_argument(
+        "--log-level", type=str, default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured event logging at this level (default: "
+             "unconfigured — stdlib prints WARNING+ incidents only)",
+    )
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="emit the event log as NDJSON (one JSON object per line) "
+             "instead of human-readable text; implies --log-level info "
+             "unless --log-level is given",
+    )
+    p.add_argument(
+        "--log-file", type=str, default=None, metavar="PATH",
+        help="write the event log to PATH instead of stderr (keeps "
+             "NDJSON clean of progress output); implies --log-level "
+             "info unless --log-level is given",
+    )
+
+
 def add_render_options(p: argparse.ArgumentParser) -> None:
     """--csv/--chart/--mc-check/--out: what to emit besides the report."""
     p.add_argument(
@@ -269,6 +312,7 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
     shard_runs = getattr(args, "shard_runs", None)
     retry = _retry_from_args(args)
     checkpoint = bool(getattr(args, "checkpoint", False))
+    trace_path = getattr(args, "trace", None) or None
     if checkpoint and cache is None:
         raise ExperimentError("--checkpoint requires --cache DIR")
     if (
@@ -278,6 +322,7 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
         and shard_runs is None
         and retry is None
         and not checkpoint
+        and trace_path is None
     ):
         return None
 
@@ -299,6 +344,30 @@ def _engine_from_args(args: argparse.Namespace) -> Optional[SweepEngine]:
         retry=retry,
         checkpoint=checkpoint,
         cache_store=store_from_url(cache_url) if cache_url else None,
+        tracer=Tracer() if trace_path else None,
+    )
+
+
+def _configure_logging_from_args(args: argparse.Namespace) -> None:
+    """Install the repro.* log handler the --log-* flags ask for."""
+    level = getattr(args, "log_level", None)
+    json_lines = bool(getattr(args, "log_json", False))
+    log_file = getattr(args, "log_file", None) or None
+    if level is None and not json_lines and log_file is None:
+        return  # unconfigured: stdlib lastResort prints WARNING+ only
+    configure_logging(
+        level or "info", json_lines=json_lines, path=log_file
+    )
+
+
+def _write_trace(args: argparse.Namespace, engine: Optional[SweepEngine]) -> None:
+    """Write the armed tracer's Chrome-trace JSON to the --trace FILE."""
+    path = getattr(args, "trace", None) or None
+    if path is None or engine is None or engine.tracer is None:
+        return
+    engine.tracer.write(path)
+    print(
+        f"wrote {path} ({len(engine.tracer)} trace events)", file=sys.stderr
     )
 
 
@@ -360,6 +429,11 @@ def _execute(
         knobs["model"] = model
     if criterion is not None:
         knobs["criterion"] = criterion
+    log_event(
+        _log, "run_start", name=experiment.name,
+        runs=args.runs, seed=args.seed,
+        adaptive=bool(getattr(args, "adaptive", False) or target_ci),
+    )
     result = registry.execute(
         experiment,
         runs=args.runs,
@@ -374,6 +448,12 @@ def _execute(
         knobs=knobs or None,
     )
     prov = result.provenance
+    log_event(
+        _log, "run_complete", name=experiment.name,
+        effective=prov.mc_runs_effective,
+        requested=prov.mc_runs_requested,
+        digest=prov.digest,
+    )
     if prov.stop_rule is not None and prov.mc_runs_requested:
         spent = 100.0 * prov.mc_runs_effective / prov.mc_runs_requested
         print(
@@ -429,6 +509,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
         run.add(result)
         manifest = run.finalize()
         _emit(f"wrote {manifest}")
+    _write_trace(args, engine)
     return 0
 
 
@@ -495,6 +576,9 @@ def _all_unit(
     unit_timeout: Optional[float],
     checkpoint: bool,
     want_charts: bool,
+    log_level: Optional[str] = None,
+    log_json: bool = False,
+    trace: bool = False,
 ) -> dict:
     """One `repro all` experiment, computed in a worker process.
 
@@ -505,8 +589,15 @@ def _all_unit(
     boundary.  The worker runs its experiment serially (parallelism comes
     from running experiments side by side), still honoring the result
     cache, shard plan and retry/checkpoint policy, none of which can
-    change any number by the engine's bit-identity contract.
+    change any number by the engine's bit-identity contract.  Telemetry
+    crosses back as plain data too: with ``trace`` the worker's engine
+    records spans and returns them under ``trace_events`` for the parent
+    to merge into one file.
     """
+    if log_level is not None or log_json:
+        # Workers inherit stderr; a --log-file stays parent-only (one
+        # writer per file).
+        configure_logging(log_level or "info", json_lines=log_json)
     experiment = registry.get(name)
     engine = None
     retry = _retry_policy(retries, unit_timeout)
@@ -516,6 +607,7 @@ def _all_unit(
         or shard_runs is not None
         or retry is not None
         or checkpoint
+        or trace
     ):
         # The store is rebuilt from its URL inside the worker: live store
         # objects (sockets, open dirs) need not cross the process boundary.
@@ -525,6 +617,7 @@ def _all_unit(
             retry=retry,
             checkpoint=checkpoint,
             cache_store=store_from_url(cache_url) if cache_url else None,
+            tracer=Tracer() if trace else None,
         )
     knobs: dict = {}
     if model_spec and experiment.model_knob:
@@ -550,6 +643,11 @@ def _all_unit(
         "canonical_report_text": result.canonical_report_text(),
         "provenance": result.provenance.as_dict(),
         "provenance_stable": result.provenance.stable_dict(),
+        "trace_events": (
+            engine.tracer.to_dict()["traceEvents"]
+            if engine is not None and engine.tracer is not None
+            else []
+        ),
     }
 
 
@@ -594,6 +692,8 @@ def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
     }
     run = _artifact_run(args)
     want_charts = bool(getattr(args, "chart", False) or run is not None)
+    trace_path = getattr(args, "trace", None) or None
+    tracer = Tracer() if trace_path else None
     experiments = registry.all_experiments()
     executor = default_executor(min(jobs, len(experiments)))
     executor.start(len(experiments))
@@ -614,6 +714,9 @@ def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
                 getattr(args, "unit_timeout", None),
                 bool(getattr(args, "checkpoint", False)),
                 want_charts,
+                getattr(args, "log_level", None),
+                bool(getattr(args, "log_json", False)),
+                tracer is not None,
             )
             for experiment in experiments
         ]
@@ -625,11 +728,21 @@ def _run_all_sharded(args: argparse.Namespace, jobs: int) -> int:
             _print_result(result, args)
             if run is not None:
                 run.add(result)
+            if tracer is not None:
+                # Workers return spans in fold order; the merged file
+                # keeps experiments in registry order.
+                tracer.extend(payload.get("trace_events", ()))
     finally:
         executor.shutdown()
     if run is not None:
         manifest = run.finalize()
         _emit(f"\nwrote {manifest} ({run.added} experiments)")
+    if tracer is not None:
+        tracer.write(trace_path)
+        print(
+            f"wrote {trace_path} ({len(tracer)} trace events)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -663,6 +776,7 @@ def _run_all(args: argparse.Namespace) -> int:
     if run is not None:
         manifest = run.finalize()
         _emit(f"\nwrote {manifest} ({run.added} experiments)")
+    _write_trace(args, engine)
     return 0
 
 
@@ -794,6 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
         add_adaptive_options(p)
         add_model_options(p)
         add_criterion_options(p)
+        add_observability_options(p)
 
     for experiment in registry.all_experiments():
         p = sub.add_parser(
@@ -874,6 +989,8 @@ def build_parser() -> argparse.ArgumentParser:
              "standalone)",
     )
     add_engine_options(serve)
+    # serve traces per request (POST /points {"trace": true}), not per run
+    add_observability_options(serve, trace=False)
     serve.set_defaults(handler=_run_serve)
 
     cache_serve = sub.add_parser(
@@ -893,6 +1010,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-bytes", type=int, default=1 << 20, metavar="N",
         help="largest accepted object upload",
     )
+    add_observability_options(cache_serve, trace=False)
     cache_serve.set_defaults(handler=_run_cache_serve)
 
     gallery = sub.add_parser("gallery", help="write the HTML design gallery")
@@ -916,6 +1034,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging_from_args(args)
     try:
         return args.handler(args)
     except FaultModelError as exc:

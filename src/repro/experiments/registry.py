@@ -342,6 +342,11 @@ class Provenance:
     #: only, never the stable dict — where a point came from can never
     #: change its value.
     cache: Optional[Dict[str, int]] = None
+    #: per-phase wall/CPU seconds summed over the dispatch's *computed*
+    #: points (worker unit totals, funnel phases, parent-side cache/fold
+    #: costs); None when every point was a cache hit.  Volatile telemetry
+    #: like resilience: manifest only, never the stable dict.
+    timings: Optional[Dict[str, float]] = None
 
     def _defect_model_block(self) -> Dict[str, object]:
         """The ``defect_models`` entry, present only for model dispatches.
@@ -397,6 +402,9 @@ class Provenance:
                 # Tier traffic of the shared cache store, when one was
                 # configured; absent otherwise so legacy manifests compare.
                 **({"cache": dict(self.cache)} if self.cache else {}),
+                # Where the dispatch's compute time went, summed across
+                # its computed points; absent for all-cached dispatches.
+                **({"timings": dict(self.timings)} if self.timings else {}),
             },
             "budget": {
                 "stop_rule": self.stop_rule,
@@ -673,7 +681,11 @@ def execute(
     models: List[Tuple[str, str]] = []
     criteria: List[Tuple[str, str]] = []
     funnel: Optional[Dict[str, int]] = None
+    timings: Dict[str, float] = {}
     for point in points:
+        if point.timings:
+            for key, value in point.timings.items():
+                timings[key] = timings.get(key, 0.0) + float(value)
         if point.model is not None and point.model_digest is not None:
             pair = (point.model, point.model_digest)
             if pair not in models:
@@ -722,6 +734,9 @@ def execute(
         ),
         cache=(
             StoreStats.delta(store0, track.store_stats.as_dict()) or None
+        ),
+        timings=(
+            {k: round(v, 6) for k, v in sorted(timings.items())} or None
         ),
     )
     return ExperimentResult(

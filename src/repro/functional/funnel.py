@@ -71,6 +71,7 @@ from repro.fluidics.controller import ElectrodeController
 from repro.fluidics.operations import Discard, Dispense, Operation, Transport
 from repro.fluidics.scheduler import Scheduler
 from repro.functional.criteria import CriterionStats, SuccessCriterion
+from repro.obs import profile as _profile
 from repro.functional.sites import multiplexed_endpoints, routing_sites, site_legs
 from repro.reconfig.local import RepairPlan, plan_local_repair
 from repro.reconfig.remap import CellRemap
@@ -281,76 +282,78 @@ class _FunnelContext:
         stats = CriterionStats(runs=n_runs)
         ok = np.zeros(n_runs, dtype=bool)
 
-        # 1. matching failed => no remap exists => criterion fails.
-        good = verdict == GOOD
-        stats.matching_fail = int(n_runs - good.sum())
+        with _profile.phase("funnel_screen"):
+            # 1. matching failed => no remap exists => criterion fails.
+            good = verdict == GOOD
+            stats.matching_fail = int(n_runs - good.sum())
 
-        # 2. spare-only faults => identity remap => baseline verdict.
-        faulty_primary = (~alive[:, self.primary_cols]).any(axis=1)
-        spare_only = good & ~faulty_primary
-        stats.spare_only = int(spare_only.sum())
-        ok[spare_only] = self.baseline_ok
-        undecided = good & faulty_primary
+            # 2. spare-only faults => identity remap => baseline verdict.
+            faulty_primary = (~alive[:, self.primary_cols]).any(axis=1)
+            spare_only = good & ~faulty_primary
+            stats.spare_only = int(spare_only.sum())
+            ok[spare_only] = self.baseline_ok
+            undecided = good & faulty_primary
 
-        # 3. alive-primary route screen (sequential legs only).
-        if not self.concurrent and undecided.any():
-            rows = np.flatnonzero(
-                undecided & alive[:, self.site_cols].all(axis=1)
-            )
-            if rows.size:
+            # 3. alive-primary route screen (sequential legs only).
+            if not self.concurrent and undecided.any():
+                rows = np.flatnonzero(
+                    undecided & alive[:, self.site_cols].all(axis=1)
+                )
+                if rows.size:
+                    sub = alive[rows]
+                    allowed = sub & self.primary_mask
+                    total = np.zeros(rows.size, dtype=np.int64)
+                    feasible = np.ones(rows.size, dtype=bool)
+                    for src_node, dst_node in self.leg_nodes:
+                        dist = _bfs_distances(
+                            allowed,
+                            np.broadcast_to(src_node, sub.shape),
+                            np.broadcast_to(dst_node, sub.shape),
+                            self.nbr_pos,
+                            self.nbr_mask,
+                        )
+                        feasible &= dist >= 0
+                        total += np.where(dist > 0, dist, 0)
+                    clear = feasible & (total <= self.deadline)
+                    cleared = rows[clear]
+                    ok[cleared] = True
+                    undecided[cleared] = False
+                    stats.route_clear = int(clear.sum())
+
+            # 4. physical reachability / distance lower bound (exact fail).
+            if undecided.any():
+                rows = np.flatnonzero(undecided)
                 sub = alive[rows]
-                allowed = sub & self.primary_mask
-                total = np.zeros(rows.size, dtype=np.int64)
-                feasible = np.ones(rows.size, dtype=bool)
-                for src_node, dst_node in self.leg_nodes:
+                bound = np.zeros(rows.size, dtype=np.int64)
+                dead = np.zeros(rows.size, dtype=bool)
+                for src_anchor, dst_anchor in self.leg_anchors:
                     dist = _bfs_distances(
-                        allowed,
-                        np.broadcast_to(src_node, sub.shape),
-                        np.broadcast_to(dst_node, sub.shape),
+                        sub,
+                        np.broadcast_to(src_anchor, sub.shape),
+                        np.broadcast_to(dst_anchor, sub.shape),
                         self.nbr_pos,
                         self.nbr_mask,
                     )
-                    feasible &= dist >= 0
-                    total += np.where(dist > 0, dist, 0)
-                clear = feasible & (total <= self.deadline)
-                cleared = rows[clear]
-                ok[cleared] = True
-                undecided[cleared] = False
-                stats.route_clear = int(clear.sum())
-
-        # 4. physical reachability / distance lower bound (exact fail).
-        if undecided.any():
-            rows = np.flatnonzero(undecided)
-            sub = alive[rows]
-            bound = np.zeros(rows.size, dtype=np.int64)
-            dead = np.zeros(rows.size, dtype=bool)
-            for src_anchor, dst_anchor in self.leg_anchors:
-                dist = _bfs_distances(
-                    sub,
-                    np.broadcast_to(src_anchor, sub.shape),
-                    np.broadcast_to(dst_anchor, sub.shape),
-                    self.nbr_pos,
-                    self.nbr_mask,
-                )
-                dead |= dist < 0
-                leg_bound = np.where(dist > 0, dist, 0)
-                if self.concurrent:
-                    # Concurrent makespan >= the slowest droplet's moves.
-                    bound = np.maximum(bound, leg_bound)
-                else:
-                    bound += leg_bound
-            fail = dead | (bound > self.deadline)
-            failed = rows[fail]
-            undecided[failed] = False
-            stats.unreachable = int(fail.sum())
+                    dead |= dist < 0
+                    leg_bound = np.where(dist > 0, dist, 0)
+                    if self.concurrent:
+                        # Concurrent makespan >= the slowest droplet's moves.
+                        bound = np.maximum(bound, leg_bound)
+                    else:
+                        bound += leg_bound
+                fail = dead | (bound > self.deadline)
+                failed = rows[fail]
+                undecided[failed] = False
+                stats.unreachable = int(fail.sum())
 
         # 5. residue: the real scheduler decides what's left.
-        rows = np.flatnonzero(undecided)
-        stats.residue = int(rows.size)
-        for r in rows:
-            got = self._residue_run(alive[r])
-            ok[r] = got
-            stats.residue_ok += int(got)
+        with _profile.phase("funnel_residue"):
+            rows = np.flatnonzero(undecided)
+            stats.residue = int(rows.size)
+            for r in rows:
+                got = self._residue_run(alive[r])
+                ok[r] = got
+                stats.residue_ok += int(got)
         return ok, stats
 
 
@@ -412,10 +415,12 @@ def criterion_successes(
     crit_total = CriterionStats()
     sub = max(1, _CLASSIFY_BYTES // max(1, struct.n_cells))
     for size in survival_batch_sizes(runs, struct.n_cells):
-        alive = model.sample_batch(geometry, size, rng, dtype=dtype)
+        with _profile.phase("funnel_sample"):
+            alive = model.sample_batch(geometry, size, rng, dtype=dtype)
         for start in range(0, alive.shape[0], sub):
             rows = alive[start:start + sub]
-            verdict, stats = classify_repairable(struct, rows)
+            with _profile.phase("funnel_classify"):
+                verdict, stats = classify_repairable(struct, rows)
             screen_total.merge(stats)
             got, cstats = criterion.evaluate_batch(struct, rows, verdict)
             successes += int(got.sum())

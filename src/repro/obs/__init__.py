@@ -1,0 +1,43 @@
+"""Unified observability layer: metrics, tracing, events, profiling.
+
+Everything in this package is **out-of-band** telemetry: nothing here may
+influence Monte-Carlo results, cache keys, stable digests, or artifact
+bytes.  Fixed-seed bundles must stay byte-identical with telemetry off,
+armed, or crashing — the tests in ``tests/test_obs.py`` enforce that.
+
+Modules
+-------
+``metrics``
+    Zero-dependency :class:`MetricsRegistry` (counters, gauges,
+    fixed-bucket histograms) with a Prometheus text encoder, plus
+    collector helpers that fold the per-layer stats objects
+    (``ResilienceStats``, ``StoreStats``, ``ScreenStats``, the serve
+    coalescing tallies) into one registry.
+``trace``
+    Span tracer for the unit lifecycle, exported as Chrome trace-event
+    JSON (open in Perfetto / ``chrome://tracing``).
+``events``
+    Structured NDJSON event log on top of stdlib ``logging`` under the
+    ``repro.*`` hierarchy.
+``profile``
+    Thread-local phase timers (wall + CPU) used by compute workers and
+    the functional funnel.
+"""
+
+from . import events, metrics, profile, trace
+from .events import configure_logging, get_logger, log_event
+from .metrics import MetricsRegistry
+from .trace import Tracer, validate_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "configure_logging",
+    "events",
+    "get_logger",
+    "log_event",
+    "metrics",
+    "profile",
+    "trace",
+    "validate_trace",
+]

@@ -1,0 +1,200 @@
+"""Structured event logging under the ``repro.*`` logger hierarchy.
+
+Every module logs through ``logging.getLogger("repro.<layer>")`` —
+scheduler, resilience, cachestore, serve — and emits *events* via
+:func:`log_event`, which attaches a machine-readable event name plus
+key/value fields to an ordinary log record.  Two formatters render
+them:
+
+* text (default): ``LEVEL logger: message [event k=v ...]``
+* NDJSON (``--log-json``): one JSON object per line with a stable
+  schema (``ts``, ``level``, ``logger``, ``event``, ``msg``,
+  ``fields``) validated by :func:`validate_event_line`.
+
+:func:`configure_logging` installs one handler on the ``repro`` root
+logger; child loggers propagate into it.  Without configuration,
+stdlib's last-resort handler still prints WARNING+ messages, so
+incident events (pool rebuilds, quarantines, remote errors) surface
+even in unconfigured runs while routine events stay silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, IO, Optional
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "configure_logging",
+    "ensure_configured",
+    "get_logger",
+    "log_event",
+    "validate_event_line",
+]
+
+EVENT_SCHEMA = 1
+
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro.*`` hierarchy (idempotent)."""
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    msg: Optional[str] = None,
+    **fields: Any,
+) -> None:
+    """Emit a structured event through ``logger``.
+
+    ``event`` is the machine-readable name (``unit_retry``,
+    ``checkpoint_resume``, ``quarantine``, ``remote_error``,
+    ``pool_rebuild``, ``leader_election``, ...); ``fields`` carry its
+    payload.  The human-readable ``msg`` defaults to the event name.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(
+        level,
+        msg if msg is not None else event,
+        extra={"repro_event": event, "repro_fields": fields},
+    )
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record — the NDJSON event-log schema."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "schema": EVENT_SCHEMA,
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "repro_event", None),
+            "msg": record.getMessage(),
+            "fields": _jsonable(getattr(record, "repro_fields", {})),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class TextEventFormatter(logging.Formatter):
+    """Human-readable line that still shows the event name and fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{record.levelname.lower()} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        event = getattr(record, "repro_event", None)
+        fields = getattr(record, "repro_fields", None)
+        if event and record.getMessage() != event:
+            base += f" [{event}]"
+        if fields:
+            kv = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            base += f" ({kv})"
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def _jsonable(fields: Any) -> Any:
+    try:
+        json.dumps(fields)
+        return fields
+    except (TypeError, ValueError):
+        return {str(k): repr(v) for k, v in dict(fields).items()}
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+    path: Optional[str] = None,
+) -> logging.Handler:
+    """Install one handler on the ``repro`` root logger.
+
+    Replaces any handler a previous call installed (idempotent across
+    CLI invocations and tests).  ``path`` wins over ``stream``; the
+    default sink is stderr.  Returns the installed handler.
+    """
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        try:
+            handler.close()
+        except (OSError, ValueError):
+            pass
+    if path is not None:
+        handler: logging.Handler = logging.FileHandler(
+            path, mode="w", encoding="utf-8"
+        )
+    else:
+        handler = logging.StreamHandler(
+            stream if stream is not None else sys.stderr
+        )
+    handler.setFormatter(
+        JsonLineFormatter() if json_lines else TextEventFormatter()
+    )
+    root.addHandler(handler)
+    root.setLevel(_LEVELS.get(str(level).lower(), logging.INFO))
+    root.propagate = False
+    return handler
+
+
+def ensure_configured(level: str = "info", *,
+                      json_lines: bool = False) -> None:
+    """Configure logging only if nothing has configured it yet."""
+    root = logging.getLogger(ROOT)
+    if not root.handlers:
+        configure_logging(level, json_lines=json_lines)
+
+
+def validate_event_line(line: str) -> Dict[str, Any]:
+    """Parse and validate one NDJSON event-log line.
+
+    Raises ``ValueError`` on malformed lines; returns the parsed
+    object.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"event line is not JSON: {line!r}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("event line must be a JSON object")
+    if payload.get("schema") != EVENT_SCHEMA:
+        raise ValueError(f"unknown event schema: {payload.get('schema')!r}")
+    for field, types in (
+        ("ts", (int, float)), ("level", str), ("logger", str), ("msg", str),
+    ):
+        if not isinstance(payload.get(field), types):
+            raise ValueError(f"event field {field} missing or mistyped")
+    if payload["level"] not in _LEVELS:
+        raise ValueError(f"unknown level {payload['level']!r}")
+    if not payload["logger"].startswith(ROOT):
+        raise ValueError(f"logger outside repro.*: {payload['logger']!r}")
+    event = payload.get("event")
+    if event is not None and not isinstance(event, str):
+        raise ValueError("event name must be a string or null")
+    if not isinstance(payload.get("fields", {}), dict):
+        raise ValueError("fields must be an object")
+    return payload

@@ -1,0 +1,417 @@
+"""Zero-dependency metrics registry with Prometheus text exposition.
+
+The registry holds three instrument kinds — counters, gauges, and
+fixed-bucket histograms — each optionally labelled.  Values are plain
+floats guarded by one lock per registry; there is no background thread
+and no external dependency.
+
+Two usage styles coexist:
+
+* **direct instrumentation** — call ``counter.inc()`` / ``hist.observe()``
+  at the event site (the serve layer times requests this way);
+* **collectors** — a callable registered via
+  :meth:`MetricsRegistry.register_collector` runs at scrape time and
+  ``set()``s instrument values from an existing stats object.  This is
+  how the per-layer stats dataclasses (``ResilienceStats``,
+  ``StoreStats``, ``ScreenStats``, the coalescing tallies) are folded in
+  without double-counting: the stats objects stay the single source of
+  truth and ``/stats``, manifests, and ``GET /metrics`` all render the
+  same numbers.
+
+Collectors duck-type over the objects they read (``as_dict()`` /
+attributes); this module imports nothing from the rest of ``repro`` so
+low-level modules may import it freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "engine_collector",
+    "server_collector",
+]
+
+LabelValues = Tuple[str, ...]
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_VALID_REST = _VALID_FIRST | set("0123456789")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0] not in _VALID_FIRST or any(
+        c not in _VALID_REST for c in name
+    ):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(names: Sequence[str], values: LabelValues) -> str:
+    if not names:
+        return ""
+    parts = ", ".join(
+        f'{n}="{_escape_label(str(v))}"' for n, v in zip(names, values)
+    )
+    return "{" + parts + "}"
+
+
+class _Instrument:
+    """Common labelled-value plumbing for counters and gauges."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._values: Dict[LabelValues, float] = {}
+        self._lock = threading.Lock()
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def _key(self, labels: Mapping[str, object]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: labels {sorted(labels)} != "
+                f"declared {sorted(self.labelnames)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        """[(name, label_suffix, value)] for the text encoder."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            (self.name, _label_suffix(self.labelnames, key), value)
+            for key, value in items
+        ]
+
+
+class Counter(_Instrument):
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def set(self, value: float, **labels: object) -> None:
+        # Collectors sync counters from monotone stats fields; never let a
+        # scrape move one backwards (a racing reader could see a dip).
+        key = self._key(labels)
+        with self._lock:
+            if float(value) >= self._values.get(key, 0.0):
+                self._values[key] = float(value)
+
+
+class Gauge(_Instrument):
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative ``le`` buckets, Prometheus style)."""
+
+    kind = "histogram"
+    DEFAULT_BUCKETS = (
+        0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Optional[Sequence[float]] = None,
+        labelnames: Sequence[str] = (),
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        edges = tuple(sorted(buckets if buckets is not None
+                             else self.DEFAULT_BUCKETS))
+        if not edges:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        self.buckets = edges
+        self._lock = threading.Lock()
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        if not self.labelnames:
+            self._counts[()] = [0] * (len(edges) + 1)
+            self._sums[()] = 0.0
+
+    def _key(self, labels: Mapping[str, object]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: labels {sorted(labels)} != "
+                f"declared {sorted(self.labelnames)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(
+                key, [0] * (len(self.buckets) + 1)
+            )
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    counts[i] += 1
+                    return
+            counts[-1] += 1
+
+    def count(self, **labels: object) -> int:
+        with self._lock:
+            return sum(self._counts.get(self._key(labels), ()))
+
+    def sum(self, **labels: object) -> float:
+        with self._lock:
+            return self._sums.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[str, str, float]]:
+        with self._lock:
+            items = sorted(self._counts.items())
+            sums = dict(self._sums)
+        out: List[Tuple[str, str, float]] = []
+        for key, counts in items:
+            cumulative = 0
+            for edge, n in zip(self.buckets, counts):
+                cumulative += n
+                suffix = _label_suffix(
+                    self.labelnames + ("le",), key + (_format_value(edge),)
+                )
+                out.append((self.name + "_bucket", suffix, float(cumulative)))
+            cumulative += counts[-1]
+            inf_suffix = _label_suffix(
+                self.labelnames + ("le",), key + ("+Inf",)
+            )
+            out.append((self.name + "_bucket", inf_suffix, float(cumulative)))
+            plain = _label_suffix(self.labelnames, key)
+            out.append((self.name + "_sum", plain, sums.get(key, 0.0)))
+            out.append((self.name + "_count", plain, float(cumulative)))
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one text encoder.
+
+    Instrument accessors are idempotent: asking for an existing name
+    returns the existing instrument (kind and labels must match), so
+    collectors can declare their instruments on every scrape.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"{name}: registered as {type(existing).__name__}, "
+                        f"requested {cls.__name__}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, buckets=buckets, labelnames=labelnames
+        )
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Run ``collector(self)`` before every render/as_dict."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+
+    def _sorted_instruments(self) -> Iterable[object]:
+        with self._lock:
+            return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def render(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        self.collect()
+        lines: List[str] = []
+        for inst in self._sorted_instruments():
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            for name, suffix, value in inst.samples():
+                lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``{name{labels}: value}`` mapping for tests and JSON."""
+        self.collect()
+        out: Dict[str, float] = {}
+        for inst in self._sorted_instruments():
+            for name, suffix, value in inst.samples():
+                out[name + suffix] = value
+        return out
+
+
+def _set_from_dict(registry: MetricsRegistry, prefix: str, help_prefix: str,
+                   values: Mapping[str, object]) -> None:
+    for field, value in values.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        registry.counter(
+            f"{prefix}_{field}_total", f"{help_prefix} {field} count"
+        ).set(float(value))
+
+
+def engine_collector(engine) -> Callable[[MetricsRegistry], None]:
+    """Collector mirroring a ``SweepEngine``'s live stats objects.
+
+    Reads (duck-typed): ``cache_hits`` / ``cache_misses`` /
+    ``runs_requested`` / ``runs_effective``, ``resilience``
+    (``ResilienceStats``), ``store_stats`` (``StoreStats``), and
+    ``screen_stats`` (``ScreenStats``).  Every scrape re-reads the live
+    objects, so ``/metrics`` can never drift from ``/stats`` or manifest
+    provenance.
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        registry.counter(
+            "repro_engine_cache_hits_total",
+            "Point-cache hits across the engine lifetime",
+        ).set(float(engine.cache_hits))
+        registry.counter(
+            "repro_engine_cache_misses_total",
+            "Point-cache misses across the engine lifetime",
+        ).set(float(engine.cache_misses))
+        registry.counter(
+            "repro_engine_runs_requested_total",
+            "Monte-Carlo runs requested from the engine",
+        ).set(float(engine.runs_requested))
+        registry.counter(
+            "repro_engine_runs_effective_total",
+            "Monte-Carlo runs actually spent (adaptive stops may save runs)",
+        ).set(float(engine.runs_effective))
+        _set_from_dict(
+            registry, "repro_resilience", "Resilience incident",
+            engine.resilience.as_dict(),
+        )
+        _set_from_dict(
+            registry, "repro_cachestore", "Cache transport",
+            engine.store_stats.as_dict(),
+        )
+        _set_from_dict(
+            registry, "repro_screen", "Screening-funnel",
+            engine.screen_stats.as_dict(),
+        )
+
+    return collect
+
+
+def server_collector(server) -> Callable[[MetricsRegistry], None]:
+    """Collector mirroring a ``ReproServer``'s request/coalescing tallies.
+
+    Reads (duck-typed): ``requests`` / ``errors`` / ``rejected`` /
+    ``active`` counters and the ``points`` / ``bundles``
+    ``CoalescingMap`` tallies (``leaders`` / ``followers`` /
+    ``promotions`` / ``len()``).
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        registry.counter(
+            "repro_http_requests_total", "HTTP requests accepted",
+        ).set(float(server.requests))
+        registry.counter(
+            "repro_http_errors_total", "HTTP requests that returned 5xx",
+        ).set(float(server.errors))
+        registry.counter(
+            "repro_http_rejected_total",
+            "HTTP requests rejected with 503 (saturation or drain)",
+        ).set(float(server.rejected))
+        registry.gauge(
+            "repro_http_active_requests", "Requests currently in flight",
+        ).set(float(server.active))
+        computed = registry.counter(
+            "repro_coalesce_computed_total",
+            "Computations led (single-flight leaders)", labelnames=("map",),
+        )
+        coalesced = registry.counter(
+            "repro_coalesce_followers_total",
+            "Requests served by joining an in-flight computation",
+            labelnames=("map",),
+        )
+        promoted = registry.counter(
+            "repro_coalesce_promotions_total",
+            "Follower promotions after a leader died", labelnames=("map",),
+        )
+        inflight = registry.gauge(
+            "repro_coalesce_inflight", "In-flight coalesced computations",
+            labelnames=("map",),
+        )
+        for label, cmap in (("points", server.points),
+                            ("bundles", server.bundles)):
+            computed.set(float(cmap.leaders), map=label)
+            coalesced.set(float(cmap.followers), map=label)
+            promoted.set(float(cmap.promotions), map=label)
+            inflight.set(float(len(cmap)), map=label)
+
+    return collect

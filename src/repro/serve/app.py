@@ -11,6 +11,7 @@ per connection, ``Connection: close``).  Endpoints::
     POST /experiments/{name}    run a full experiment -> artifact bundle
     POST /points                compute/fetch one sweep point
     GET  /stats                 coalescing + engine cache/budget counters
+    GET  /metrics               the same counters in Prometheus text format
 
 Request coalescing
 ------------------
@@ -39,8 +40,10 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import logging
 import signal
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -50,6 +53,9 @@ from repro.designs.interstitial import build_with_primary_count
 from repro.errors import ExperimentError, ReproError, ServeError
 from repro.experiments import registry
 from repro.experiments.artifacts import ArtifactRun, bundle_payload
+from repro.obs.events import ensure_configured, get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, engine_collector, server_collector
+from repro.obs.trace import Tracer
 from repro.serve.coalesce import CoalescingMap, InflightEntry
 from repro.serve.protocol import (
     PROTOCOL_SCHEMA,
@@ -72,6 +78,8 @@ from repro.yieldsim.scheduler import EnginePoint, chip_payload, payload_digest
 from repro.yieldsim.stats import YieldEstimate, wilson_half_width
 
 __all__ = ["ServeConfig", "ReproServer", "BackgroundServer", "serve_forever"]
+
+_log = get_logger("serve")
 
 _HTTP_REASONS = {
     200: "OK",
@@ -182,6 +190,15 @@ class ReproServer:
         self.rejected = 0
         #: connections currently inside a handler (shutdown drains these)
         self.active = 0
+        #: one registry; collectors re-read the live stats objects at
+        #: scrape time so /metrics can never drift from /stats
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(engine_collector(self.engine))
+        self.metrics.register_collector(server_collector(self))
+        self._request_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Wall seconds spent answering one HTTP request",
+        )
 
     # -- request resolution ----------------------------------------------------
     def _chip_for(self, request: PointRequest) -> Tuple[Biochip, str]:
@@ -246,7 +263,18 @@ class ReproServer:
         return task, digest
 
     # -- compute (leader side) -------------------------------------------------
-    async def _lead_point(self, entry: InflightEntry, task: EnginePoint) -> None:
+    async def _lead_point(
+        self, entry: InflightEntry, task: EnginePoint, trace: bool = False
+    ) -> None:
+        """Compute ``task`` and settle ``entry`` with ``(estimate, trace)``.
+
+        When the leading request asked for a trace, a fresh
+        :class:`~repro.obs.trace.Tracer` is attached to the shared engine
+        for the duration of the computation — safe because engine compute
+        is serialized under ``_compute_lock`` — and its Chrome-trace dict
+        rides the resolved value (``None`` otherwise).  Telemetry is
+        out-of-band: the estimate is bit-identical either way.
+        """
         def on_fold(_index: int, successes: int, trials: int) -> None:
             entry.publish_threadsafe(
                 {
@@ -258,16 +286,27 @@ class ReproServer:
                 }
             )
 
-        def work() -> YieldEstimate:
+        def work() -> Tuple[YieldEstimate, Optional[Dict[str, object]]]:
             with self._compute_lock:
-                return self.engine.run_points([task], on_fold=on_fold)[0]
+                tracer = Tracer() if trace else None
+                previous = self.engine.tracer
+                if tracer is not None:
+                    self.engine.tracer = tracer
+                try:
+                    estimate = self.engine.run_points([task], on_fold=on_fold)[0]
+                finally:
+                    if tracer is not None:
+                        self.engine.tracer = previous
+                return estimate, (
+                    tracer.to_dict() if tracer is not None else None
+                )
 
         try:
-            estimate = await asyncio.to_thread(work)
+            result = await asyncio.to_thread(work)
         except BaseException as exc:  # noqa: BLE001 - leader must settle the future
             self.points.fail(entry, exc)
         else:
-            self.points.resolve(entry, estimate)
+            self.points.resolve(entry, result)
 
     async def _lead_bundle(self, entry: InflightEntry, request: BundleRequest) -> None:
         def work() -> Dict[str, object]:
@@ -451,6 +490,7 @@ class ReproServer:
                 "POST /experiments/{name}",
                 "POST /points",
                 "GET /stats",
+                "GET /metrics",
                 "GET /health",
                 "GET|HEAD|PUT /cache/objects/{digest}",
                 "GET /cache/keys",
@@ -507,23 +547,43 @@ class ReproServer:
 
         self.requests += 1
         path = target.partition("?")[0]
+        verb = method.upper()
+        started = time.perf_counter()
+        log_event(
+            _log, "request", level=logging.DEBUG,
+            msg=f"{verb} {path} ({len(body)} byte body)",
+            method=verb, path=path, body_bytes=len(body),
+        )
         try:
-            await self._route(method.upper(), path, body, headers, writer)
+            await self._route(verb, path, body, headers, writer)
         except ServeError as exc:
-            self.errors += 1
+            self._request_error(verb, path, 400, exc)
             await self._send_json(writer, 400, error_payload(exc))
         except ExperimentError as exc:
             # the one lookup-shaped error: unknown experiment name
-            self.errors += 1
+            self._request_error(verb, path, 404, exc)
             await self._send_json(writer, 404, error_payload(exc))
         except ReproError as exc:
-            self.errors += 1
+            self._request_error(verb, path, 400, exc)
             await self._send_json(writer, 400, error_payload(exc))
         except (ConnectionError, asyncio.CancelledError):
             raise
         except Exception as exc:  # noqa: BLE001 - a server answers, never crashes
-            self.errors += 1
+            self._request_error(verb, path, 500, exc)
             await self._send_json(writer, 500, error_payload(exc))
+        finally:
+            self._request_seconds.observe(time.perf_counter() - started)
+
+    def _request_error(
+        self, method: str, path: str, status: int, exc: BaseException
+    ) -> None:
+        self.errors += 1
+        log_event(
+            _log, "request_error", level=logging.WARNING,
+            msg=f"{method} {path} -> {status}: {exc}",
+            method=method, path=path, status=status,
+            error=type(exc).__name__,
+        )
 
     async def _route(
         self, method: str, path: str, body: bytes,
@@ -565,6 +625,12 @@ class ReproServer:
             return
         if path == "/stats" and method == "GET":
             await self._send_json(writer, 200, self.stats_payload())
+            return
+        if path == "/metrics" and method == "GET":
+            await self._send_text(
+                writer, 200, self.metrics.render(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
             return
         if path == "/health" and method == "GET":
             await self._send_json(writer, 200, self.health_payload())
@@ -640,9 +706,11 @@ class ReproServer:
             while True:
                 entry, leader = self.points.join(key)
                 if leader:
-                    asyncio.ensure_future(self._lead_point(entry, task))
+                    asyncio.ensure_future(
+                        self._lead_point(entry, task, trace=request.trace)
+                    )
                 try:
-                    estimate = await self._await_result(entry)
+                    estimate, trace_payload = await self._await_result(entry)
                     break
                 except asyncio.TimeoutError:
                     self.points.leave(entry)
@@ -663,11 +731,19 @@ class ReproServer:
                     # a pure function of the key.
                     promotions += 1
                     self.points.promotions += 1
-            await self._send_json(
-                writer, 200,
-                self._point_payload(request, key, chip_digest, task, estimate,
-                                    coalesced=not leader),
+                    log_event(
+                        _log, "leader_election", map="points", key=key[:16],
+                        promotions=promotions,
+                    )
+            payload = self._point_payload(
+                request, key, chip_digest, task, estimate,
+                coalesced=not leader,
             )
+            if request.trace:
+                # A coalesced request rides another leader's computation:
+                # there is no trace of *its own* to return.
+                payload["trace"] = trace_payload if leader else None
+            await self._send_json(writer, 200, payload)
             return
 
         # NDJSON stream: accepted, folds (adaptive/sharded points), result.
@@ -692,7 +768,7 @@ class ReproServer:
                     break
                 await self._send_line(writer, event)
             try:
-                estimate = await asyncio.shield(entry.future)
+                estimate, _trace = await asyncio.shield(entry.future)
                 break
             except BaseException as exc:
                 if not self._leader_died(entry, exc):
@@ -701,6 +777,10 @@ class ReproServer:
                     raise
                 promotions += 1
                 self.points.promotions += 1
+                log_event(
+                    _log, "leader_election", map="points", key=key[:16],
+                    promotions=promotions,
+                )
                 entry, leader = self.points.join(key)
                 queue = entry.subscribe()
                 if leader:
@@ -753,6 +833,10 @@ class ReproServer:
                     raise
                 promotions += 1
                 self.bundles.promotions += 1
+                log_event(
+                    _log, "leader_election", map="bundles", key=key[:16],
+                    promotions=promotions,
+                )
         payload["coalesced"] = not leader
         await self._send_json(writer, 200, payload)
 
@@ -866,6 +950,23 @@ class ReproServer:
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + (b"" if head_only else payload))
+        await writer.drain()
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
     async def _send_json(
@@ -984,26 +1085,28 @@ def serve_forever(config: ServeConfig, engine: Optional[SweepEngine] = None) -> 
     first, then in-flight requests get up to ``config.drain_timeout``
     seconds to finish before the process exits.
     """
-    import sys
-
+    ensure_configured("info")
     server = ReproServer(config, engine=engine)
 
     def ready(port: int) -> None:
-        print(
-            f"repro serve: listening on http://{config.host}:{port} "
-            f"(jobs={config.jobs}, cache={config.cache_dir or '-'}, "
-            f"out={config.out_dir or '-'}, "
-            f"objects={config.cache_objects or '-'})",
-            file=sys.stderr,
+        log_event(
+            _log, "listening",
+            msg=(
+                f"repro serve: listening on http://{config.host}:{port} "
+                f"(jobs={config.jobs}, cache={config.cache_dir or '-'}, "
+                f"out={config.out_dir or '-'}, "
+                f"objects={config.cache_objects or '-'})"
+            ),
+            host=config.host, port=port, jobs=config.jobs,
         )
 
     try:
         asyncio.run(_serve(server, ready))
-        print("repro serve: drained, shutting down", file=sys.stderr)
+        log_event(_log, "shutdown", msg="repro serve: drained, shutting down")
     except KeyboardInterrupt:
         # Signal handlers unavailable (e.g. a platform without them):
         # fall back to the historical immediate shutdown.
-        print("repro serve: shutting down", file=sys.stderr)
+        log_event(_log, "shutdown", msg="repro serve: shutting down")
     return 0
 
 

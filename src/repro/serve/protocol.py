@@ -93,6 +93,11 @@ class PointRequest:
     adaptive: bool = False
     target_ci: Optional[float] = None
     stream: bool = False
+    #: ask for a Chrome-trace of this request's computation; the dict
+    #: rides the response under "trace" when this request led (null when
+    #: it coalesced onto another leader).  Non-streaming only; results
+    #: are bit-identical either way.
+    trace: bool = False
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "PointRequest":
@@ -101,6 +106,7 @@ class PointRequest:
         known = {
             "kind", "param", "runs", "seed", "design", "n", "chip_digest",
             "defect_model", "criterion", "adaptive", "target_ci", "stream",
+            "trace",
         }
         unknown = set(data) - known
         if unknown:
@@ -126,6 +132,7 @@ class PointRequest:
                 else _as_number(data["target_ci"], "target_ci")
             ),
             stream=bool(data.get("stream", False)),
+            trace=bool(data.get("trace", False)),
         )
         request.validate()
         return request

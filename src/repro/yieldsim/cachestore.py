@@ -62,6 +62,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.errors import StoreError
+from repro.obs.events import get_logger, log_event
 from repro.yieldsim.resilience import ResilienceStats
 
 __all__ = [
@@ -80,7 +81,7 @@ __all__ = [
     "store_from_url",
 ]
 
-log = logging.getLogger("repro.cachestore")
+log = get_logger("cachestore")
 
 #: Envelope magic for content-addressed objects: format name + version.
 ENVELOPE_MAGIC = b"repro-cas/1 "
@@ -584,9 +585,14 @@ class TieredCache:
         self.stats.remote_errors += 1
         if self.resilience is not None:
             self.resilience.remote_errors += 1
-        log.warning(
-            "remote cache %s %s on %s degraded to miss: %s",
-            getattr(self.remote, "name", "store"), op, key, detail,
+        store = getattr(self.remote, "name", "store")
+        log_event(
+            log, "remote_error", level=logging.WARNING,
+            msg=(
+                f"remote cache {store} {op} on {key} "
+                f"degraded to miss: {detail}"
+            ),
+            store=store, op=op, key=key[:16], error=detail,
         )
 
     def _valid(self, key: str, blob: bytes) -> bool:

@@ -89,6 +89,7 @@ from repro.yieldsim.cachestore import (
     TieredCache,
     entry_validator,
 )
+from repro.obs.trace import Tracer
 from repro.yieldsim.executors import Executor, default_executor
 from repro.yieldsim.kernel import PointSpec, ScreenStats
 from repro.yieldsim.resilience import ResilienceStats, RetryPolicy
@@ -168,6 +169,11 @@ class PointRecord:
     incident-free point, so records only mention resilience when it
     actually fired.  Incidents are telemetry, not results: two runs of a
     point may differ in incidents while their numbers are identical.
+
+    ``timings`` carries per-phase wall/CPU seconds for *computed* points
+    (worker unit totals, funnel phases, parent-side cache/fold costs) and
+    is ``None`` for cache hits.  Like incidents, timings are volatile
+    telemetry: manifest-only, never part of stable digests or artifacts.
     """
 
     kind: str
@@ -181,6 +187,7 @@ class PointRecord:
     criterion_digest: Optional[str] = None
     funnel: Optional[Dict[str, int]] = None
     incidents: Optional[Dict[str, int]] = None
+    timings: Optional[Dict[str, float]] = None
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -199,6 +206,8 @@ class PointRecord:
                 out["funnel"] = dict(self.funnel)
         if self.incidents is not None:
             out["incidents"] = dict(self.incidents)
+        if self.timings is not None:
+            out["timings"] = dict(self.timings)
         return out
 
 
@@ -260,6 +269,12 @@ class SweepEngine:
         to misses plus counted incidents (:attr:`store_stats`), never an
         exception — and never changes any number.  Checkpoints stay
         local-only.
+    tracer:
+        An :class:`~repro.obs.trace.Tracer` to record the unit lifecycle
+        (points, chunks/shards, retries, folds, cache traffic) as Chrome
+        trace events.  ``None`` (default) records nothing and costs
+        nothing.  Also assignable later via the :attr:`tracer` property.
+        Tracing never changes any number.
     """
 
     def __init__(
@@ -273,6 +288,7 @@ class SweepEngine:
         retry: Optional[RetryPolicy] = None,
         checkpoint: bool = False,
         cache_store: Optional[CacheStore] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if jobs < 1:
             raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -313,6 +329,7 @@ class SweepEngine:
         self.scheduler = PointScheduler(
             self.cache, dtype=dtype, shard_runs=shard_runs,
             retry=retry, checkpoint=checkpoint, stats=self.resilience,
+            tracer=tracer,
         )
         #: merged screen statistics of everything this engine computed
         self.screen_stats = ScreenStats()
@@ -321,6 +338,22 @@ class SweepEngine:
         self.runs_effective = 0
         #: per-point budget accounting, appended in task order by run_points
         self.point_log: List[PointRecord] = []
+
+    # -- telemetry --------------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The span tracer armed on this engine (``None`` = off).
+
+        Assignable at any time between runs: the serving layer arms a
+        fresh tracer per traced request (under its compute lock) and
+        disarms it afterwards.  Tracing is out-of-band — results are
+        bit-identical with it on or off.
+        """
+        return self.scheduler.tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Tracer]) -> None:
+        self.scheduler.tracer = tracer
 
     # -- cache counters (facade over PointCache, for tests and reports) --------
     @property
@@ -364,6 +397,7 @@ class SweepEngine:
         executor = self.executor if self.executor is not None else default_executor(self.jobs)
         crit_out: List[Optional[Dict[str, int]]] = [None] * len(tasks)
         incidents_out: List[Optional[Dict[str, int]]] = [None] * len(tasks)
+        timings_out: List[Optional[Dict[str, float]]] = [None] * len(tasks)
         raw = self.scheduler.run(
             tasks,
             executor,
@@ -372,10 +406,11 @@ class SweepEngine:
             stats=self.screen_stats,
             crit_out=crit_out,
             incidents_out=incidents_out,
+            timings_out=timings_out,
         )
         estimates: List[YieldEstimate] = []
-        for task, (got, trials), crit, incidents in zip(
-            tasks, raw, crit_out, incidents_out
+        for task, (got, trials), crit, incidents, timings in zip(
+            tasks, raw, crit_out, incidents_out, timings_out
         ):
             self.runs_requested += task.spec.runs
             self.runs_effective += trials
@@ -397,6 +432,7 @@ class SweepEngine:
                     ),
                     funnel=crit,
                     incidents=incidents,
+                    timings=timings,
                 )
             )
             estimates.append(YieldEstimate(successes=got, trials=trials))

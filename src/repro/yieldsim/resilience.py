@@ -42,6 +42,7 @@ for it.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import time
@@ -58,6 +59,8 @@ from typing import (
 )
 
 from repro.errors import SimulationError, UnitFailure
+from repro.obs.events import get_logger, log_event
+from repro.obs.trace import Tracer
 
 __all__ = [
     "RetryPolicy",
@@ -68,7 +71,33 @@ __all__ = [
     "InjectedFault",
     "Preemption",
     "DEFAULT_RETRY_POLICY",
+    "unit_digest",
 ]
+
+_log = get_logger("resilience")
+
+
+def unit_digest(fn: Callable[..., Any], args: Tuple[Any, ...]) -> str:
+    """Content digest identifying a logical compute unit.
+
+    A pure function of the unit's (function, args) payload — the same
+    identity a :class:`FaultSchedule` keys on and the tracer stamps on
+    unit spans, so a chaos-lane incident and its trace span name the
+    same unit.
+    """
+    blob = pickle.dumps(
+        (getattr(fn, "__module__", ""), getattr(fn, "__qualname__", ""), args)
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _span_name(token: Hashable) -> str:
+    if isinstance(token, tuple) and token:
+        if token[0] == "chunk":
+            return "unit:chunk"
+        if all(isinstance(x, int) for x in token):
+            return "unit:shard"
+    return "unit"
 
 
 class InjectedFault(RuntimeError):
@@ -221,7 +250,10 @@ class ResilienceStats:
 class _Unit:
     """One logical compute unit across its (possibly many) attempts."""
 
-    __slots__ = ("token", "fn", "args", "validator", "attempts", "started")
+    __slots__ = (
+        "token", "fn", "args", "validator", "attempts", "started",
+        "trace_start", "digest",
+    )
 
     def __init__(
         self,
@@ -236,6 +268,8 @@ class _Unit:
         self.validator = validator
         self.attempts = 0
         self.started = 0.0
+        self.trace_start = 0.0
+        self.digest = ""
 
 
 class UnitRunner:
@@ -269,12 +303,14 @@ class UnitRunner:
         *,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        tracer: Optional[Tracer] = None,
     ):
         self.executor = executor
         self.policy = policy
         self.stats = stats if stats is not None else ResilienceStats()
         self.clock = clock
         self.sleep = sleep
+        self.tracer = tracer
         self._inflight: Dict[Any, _Unit] = {}
         self._rebuilds = 0
         #: token -> {incident kind: count} for units that needed recovery
@@ -291,6 +327,29 @@ class UnitRunner:
         bucket = self.incidents.setdefault(token, {})
         bucket[kind] = bucket.get(kind, 0) + 1
 
+    def _incident(
+        self,
+        name: str,
+        unit: _Unit,
+        *,
+        level: int = logging.INFO,
+        **fields: Any,
+    ) -> None:
+        """Record one incident as a trace instant and a structured event.
+
+        Trace args stay deterministic (token, unit digest, attempt);
+        volatile detail (exception text) goes only to the event log.
+        """
+        if self.tracer is not None:
+            self.tracer.instant(
+                name, cat="incident", token=str(unit.token),
+                unit=unit.digest, attempt=unit.attempts,
+            )
+        log_event(
+            _log, name, level=level, token=str(unit.token),
+            unit=unit.digest, attempt=unit.attempts, **fields,
+        )
+
     # -- submission ------------------------------------------------------------
     def submit(
         self,
@@ -299,7 +358,11 @@ class UnitRunner:
         args: Tuple[Any, ...],
         validator: Optional[Callable[[Any], bool]] = None,
     ) -> None:
-        self._launch(_Unit(token, fn, tuple(args), validator))
+        unit = _Unit(token, fn, tuple(args), validator)
+        if self.tracer is not None:
+            unit.digest = unit_digest(fn, unit.args)[:16]
+            unit.trace_start = self.tracer.now_us()
+        self._launch(unit)
 
     def _launch(self, unit: _Unit) -> None:
         """Execute one attempt of ``unit`` (retrying inline failures)."""
@@ -342,6 +405,7 @@ class UnitRunner:
             ) from (exc if isinstance(exc, BaseException) else None)
         self.stats.retries += 1
         self._note(unit.token, kind)
+        self._incident("unit_retry", unit, kind=kind, error=repr(exc))
         self.sleep(self.policy.delay(unit.attempts))
 
     def _rebuild_or_raise(self, unit: _Unit, exc: BaseException) -> None:
@@ -355,6 +419,10 @@ class UnitRunner:
             ) from exc
         self._rebuilds += 1
         self.stats.pool_rebuilds += 1
+        self._incident(
+            "pool_rebuild", unit, level=logging.WARNING,
+            rebuilds=self._rebuilds, error=repr(exc),
+        )
         rebuild()
         if self.policy is not None:
             self.sleep(self.policy.delay(self._rebuilds))
@@ -431,6 +499,7 @@ class UnitRunner:
                 if not self._validate(unit, value):
                     self.stats.corrupt_units += 1
                     self._note(unit.token, "corrupt_units")
+                    self._incident("unit_corrupt", unit)
                     self._retry_or_raise(
                         unit,
                         SimulationError(
@@ -449,7 +518,16 @@ class UnitRunner:
                     # keep the (bit-identical-by-contract) value.
                     self.stats.timeouts += 1
                     self._note(unit.token, "timeouts")
+                    self._incident("unit_timeout", unit, late=True)
                 out.append((unit.token, value))
+                if self.tracer is not None:
+                    end = self.tracer.now_us()
+                    self.tracer.complete(
+                        _span_name(unit.token), unit.trace_start,
+                        end - unit.trace_start, cat="unit",
+                        token=str(unit.token), unit=unit.digest,
+                        attempts=unit.attempts,
+                    )
             if self.policy is not None and self.policy.unit_timeout is not None:
                 for future, unit in list(self._inflight.items()):
                     if now - unit.started > self.policy.unit_timeout:
@@ -457,6 +535,7 @@ class UnitRunner:
                         del self._inflight[future]
                         self.stats.timeouts += 1
                         self._note(unit.token, "timeouts")
+                        self._incident("unit_timeout", unit, late=False)
                         self._retry_or_raise(
                             unit,
                             SimulationError(
@@ -602,10 +681,7 @@ class FaultInjectingExecutor:
         return self.inner.capacity
 
     def _unit_key(self, fn: Callable[..., Any], args: Tuple[Any, ...]) -> str:
-        blob = pickle.dumps(
-            (getattr(fn, "__module__", ""), getattr(fn, "__qualname__", ""), args)
-        )
-        return hashlib.sha256(blob).hexdigest()
+        return unit_digest(fn, args)
 
     def start(self, units_hint: int) -> None:
         self.inner.start(units_hint)

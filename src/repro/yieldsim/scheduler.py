@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import (
@@ -68,6 +70,9 @@ from repro.yieldsim.kernel import (
     shard_seed,
     simulate_points,
 )
+from repro.obs import profile as _profile
+from repro.obs.events import get_logger, log_event
+from repro.obs.trace import Tracer
 from repro.yieldsim.resilience import (
     ResilienceStats,
     RetryPolicy,
@@ -83,6 +88,8 @@ __all__ = [
     "chip_payload",
     "payload_digest",
 ]
+
+_log = get_logger("scheduler")
 
 #: Bump when the kernel/sampling semantics change, to invalidate caches.
 ENGINE_VERSION = 1
@@ -177,6 +184,24 @@ def _structure_for(digest: str, payload: Dict[str, object]) -> RepairStructure:
     return struct
 
 
+def _unit_timing(wall0: float, cpu0: float,
+                 phases: Dict[str, float]) -> Dict[str, float]:
+    """``time_``-prefixed wall/CPU keys riding a unit's wire stats dict.
+
+    Both stat readers (:meth:`ScreenStats.from_dict` filters to its own
+    fields, :meth:`CriterionStats.from_wire` to ``crit_``-prefixed keys)
+    ignore these, so timings stay out-of-band: they never reach results,
+    cache entries, checkpoints, or stable digests.
+    """
+    timing = {
+        "time_wall_s": time.perf_counter() - wall0,
+        "time_cpu_s": time.process_time() - cpu0,
+    }
+    for name, value in phases.items():
+        timing[f"time_{name}"] = value
+    return timing
+
+
 def compute_chunk(
     digest: str,
     payload: Dict[str, object],
@@ -193,30 +218,38 @@ def compute_chunk(
     """
     struct = _structure_for(digest, payload)
     dtype = np.dtype(dtype_name).type
-    if all(point.criterion is None for point in points):
-        successes, stats = simulate_points(struct, points, dtype=dtype)
-        return successes, stats.as_dict(), [None] * len(points)
-    from repro.functional.funnel import criterion_successes
-
-    successes = []
-    crits: List[Optional[Dict[str, int]]] = []
-    stats = ScreenStats()
-    for point in points:
-        point.validate(struct.n_cells)
-        if point.criterion is None:
-            got, point_stats = model_successes(
-                struct, point_model(point), point.runs, point.seed, dtype=dtype
-            )
-            crits.append(None)
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    with _profile.capture() as phases:
+        if all(point.criterion is None for point in points):
+            successes, stats = simulate_points(struct, points, dtype=dtype)
+            crits: List[Optional[Dict[str, int]]] = [None] * len(points)
         else:
-            got, point_stats, crit = criterion_successes(
-                struct, point_model(point), point.criterion,
-                point.runs, point.seed, dtype=dtype,
-            )
-            crits.append(crit.wire_dict())
-        successes.append(got)
-        stats.merge(point_stats)
-    return successes, stats.as_dict(), crits
+            from repro.functional.funnel import criterion_successes
+
+            successes = []
+            crits = []
+            stats = ScreenStats()
+            for point in points:
+                point.validate(struct.n_cells)
+                if point.criterion is None:
+                    got, point_stats = model_successes(
+                        struct, point_model(point), point.runs, point.seed,
+                        dtype=dtype,
+                    )
+                    crits.append(None)
+                else:
+                    got, point_stats, crit = criterion_successes(
+                        struct, point_model(point), point.criterion,
+                        point.runs, point.seed, dtype=dtype,
+                    )
+                    crits.append(crit.wire_dict())
+                successes.append(got)
+                stats.merge(point_stats)
+    return (
+        successes,
+        {**stats.as_dict(), **_unit_timing(wall0, cpu0, phases)},
+        crits,
+    )
 
 
 def compute_shard(
@@ -242,17 +275,22 @@ def compute_shard(
     struct = _structure_for(digest, payload)
     rng = np.random.default_rng(shard_seed(entropy, index))
     dtype = np.dtype(dtype_name).type
-    if spec.criterion is None:
-        got, stats = model_successes(
-            struct, point_model(spec), size, seed=rng, dtype=dtype
-        )
-        return got, stats.as_dict()
-    from repro.functional.funnel import criterion_successes
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    with _profile.capture() as phases:
+        if spec.criterion is None:
+            got, stats = model_successes(
+                struct, point_model(spec), size, seed=rng, dtype=dtype
+            )
+            wire: Dict[str, object] = stats.as_dict()
+        else:
+            from repro.functional.funnel import criterion_successes
 
-    got, stats, crit = criterion_successes(
-        struct, point_model(spec), spec.criterion, size, seed=rng, dtype=dtype
-    )
-    return got, {**stats.as_dict(), **crit.wire_dict()}
+            got, stats, crit = criterion_successes(
+                struct, point_model(spec), spec.criterion, size, seed=rng,
+                dtype=dtype,
+            )
+            wire = {**stats.as_dict(), **crit.wire_dict()}
+    return got, {**wire, **_unit_timing(wall0, cpu0, phases)}
 
 
 # -- scheduling inputs --------------------------------------------------------
@@ -384,6 +422,10 @@ class PointCache:
     def _quarantine(self, path: str) -> None:
         """Move a corrupt file aside so it is recomputed, never re-read."""
         self.stats.quarantined += 1
+        log_event(
+            _log, "quarantine", level=logging.WARNING,
+            msg=f"quarantined corrupt cache file {path}", path=path,
+        )
         try:
             os.replace(path, f"{path}.corrupt")
         except OSError:
@@ -634,6 +676,7 @@ class PointScheduler:
         retry: Optional[RetryPolicy] = None,
         checkpoint: bool = False,
         stats: Optional[ResilienceStats] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if shard_runs is not None and shard_runs < 1:
             raise SimulationError(f"shard_runs must be >= 1, got {shard_runs}")
@@ -643,6 +686,9 @@ class PointScheduler:
         self.retry = retry
         self.checkpoint = checkpoint
         self.stats = stats if stats is not None else cache.stats
+        #: Optional span tracer; ``None`` keeps every hot path untouched.
+        #: Mutable so a server can arm tracing per-request on one engine.
+        self.tracer = tracer
 
     # -- key derivation --------------------------------------------------------
     def task_batch(self, task: EnginePoint) -> Optional[int]:
@@ -672,6 +718,7 @@ class PointScheduler:
         stats: Optional[ScreenStats] = None,
         crit_out: Optional[List[Optional[Dict[str, int]]]] = None,
         incidents_out: Optional[List[Optional[Dict[str, int]]]] = None,
+        timings_out: Optional[List[Optional[Dict[str, float]]]] = None,
     ) -> List[Tuple[int, int]]:
         """``(successes, effective trials)`` for every task, in order.
 
@@ -695,10 +742,45 @@ class PointScheduler:
         corrupt payloads, pool rebuilds) are filled with the per-kind
         incident counts, attributing recovery work to the points it
         served.  A chunk's incidents attribute to every point it carried.
+
+        ``timings_out`` follows the same out-parameter idiom for phase
+        profiling: slots of *computed* points are filled with per-phase
+        wall/CPU seconds — worker-side unit totals (``wall_s``/``cpu_s``,
+        plus funnel phases for criterion points) and parent-side
+        ``cache_wall_s`` / ``fold_wall_s``.  A chunk's unit timing
+        attributes to every point it carried; cache hits leave their slot
+        ``None``.  Timings are telemetry only — they never influence
+        results or artifacts.
         """
         n = len(tasks)
         results: List[Optional[Tuple[int, int]]] = [None] * n
         stats = stats if stats is not None else ScreenStats()
+        tracer = self.tracer
+        run_t0 = tracer.now_us() if tracer is not None else 0.0
+        #: task index -> accumulated phase timings (computed points only).
+        timing_acc: Dict[int, Dict[str, float]] = {}
+        #: task index -> trace-relative start of the point's lifecycle.
+        point_start: Dict[int, float] = {}
+
+        def trace_point(i: int, hit: bool) -> None:
+            if tracer is None:
+                return
+            got, trials = results[i]  # type: ignore[misc]
+            tracer.complete(
+                "point", point_start.get(i, 0.0),
+                tracer.now_us() - point_start.get(i, 0.0), cat="point",
+                index=i, kind=tasks[i].spec.kind, param=tasks[i].spec.param,
+                requested=tasks[i].spec.runs, effective=trials,
+                successes=got, hit=hit,
+            )
+
+        def note_times(i: int, wire: Dict[str, object]) -> None:
+            """Fold a unit's ``time_``-prefixed keys into point ``i``."""
+            acc = timing_acc.setdefault(i, {})
+            for key, value in wire.items():
+                if key.startswith("time_"):
+                    name = key[len("time_"):]
+                    acc[name] = acc.get(name, 0.0) + float(value)  # type: ignore[arg-type]
 
         # Canonical payload/digest per distinct chip object (and needed set).
         seen: Dict[Tuple[int, Optional[Tuple[Hashable, ...]]], str] = {}
@@ -725,11 +807,22 @@ class PointScheduler:
         done = 0
         for i, task in enumerate(tasks):
             task.spec.validate(len(task.chip))
+            if tracer is not None:
+                point_start[i] = tracer.now_us()
+            load0 = time.perf_counter()
             cached = self.cache.load(keys[i], task.spec, batched=batch_of[i] is not None)
+            load_s = time.perf_counter() - load0
+            if tracer is not None:
+                tracer.complete(
+                    "cache.get", point_start[i], load_s * 1e6, cat="cache",
+                    key=keys[i][:16], hit=cached is not None,
+                )
             if cached is not None:
                 results[i] = cached
                 done += 1
+                trace_point(i, hit=True)
             else:
+                timing_acc[i] = {"cache_wall_s": load_s}
                 (pending if batch_of[i] is None else pending_batched).append(i)
         if done and progress is not None:
             progress(done, n)
@@ -751,11 +844,15 @@ class PointScheduler:
             nonlocal done
             for idx, got, crit in zip(chunk_indices, successes, chunk_crits):
                 results[idx] = (got, tasks[idx].spec.runs)
-                self.cache.store(keys[idx], tasks[idx].spec, got, tasks[idx].spec.runs)
+                self._store_traced(
+                    keys[idx], tasks[idx].spec, got, tasks[idx].spec.runs
+                )
                 if crit is not None and crit_out is not None:
                     from repro.functional.criteria import CriterionStats
 
                     crit_out[idx] = CriterionStats.from_wire(crit).as_dict()
+                note_times(idx, chunk_stats)
+                trace_point(idx, hit=False)
             stats.merge(ScreenStats.from_dict(chunk_stats))
             done += len(chunk_indices)
             if progress is not None:
@@ -771,7 +868,7 @@ class PointScheduler:
         }
         shard_units = sum(len(plan) for plan in plans.values())
         executor.start(max(len(chunks), shard_units))
-        runner = UnitRunner(executor, self.retry, self.stats)
+        runner = UnitRunner(executor, self.retry, self.stats, tracer=tracer)
         try:
             # Flat chunks: submit up to capacity, fold results as they
             # complete.  With a capacity-1 immediate executor this is the
@@ -798,12 +895,13 @@ class PointScheduler:
             def on_point(i: int, got: int, trials: int) -> None:
                 nonlocal done
                 results[i] = (got, trials)
-                self.cache.store(
+                self._store_traced(
                     keys[i], tasks[i].spec, got, trials,
                     batched=True, stop=tasks[i].stop,
                 )
                 if self.checkpoint:
                     self.cache.clear_checkpoint(keys[i])
+                trace_point(i, hit=False)
                 done += 1
                 if progress is not None:
                     progress(done, n)
@@ -812,7 +910,7 @@ class PointScheduler:
                 self._run_batched(
                     tasks, pending_batched, plans, keys, digests,
                     payload_by_digest, executor, runner, on_point, on_fold,
-                    stats, crit_out,
+                    stats, crit_out, timing_acc=timing_acc,
                 )
         finally:
             executor.shutdown()
@@ -829,7 +927,41 @@ class PointScheduler:
                         bucket[kind] = bucket.get(kind, 0) + count
                     incidents_out[i] = bucket
 
+        if timings_out is not None:
+            for i, acc in timing_acc.items():
+                if acc and results[i] is not None:
+                    timings_out[i] = {
+                        k: round(v, 6) for k, v in sorted(acc.items())
+                    }
+
+        if tracer is not None:
+            tracer.complete(
+                "scheduler.run", run_t0, tracer.now_us() - run_t0,
+                cat="engine", tasks=n, hits=max(0, n - len(timing_acc)),
+            )
+
         return [pair for pair in results]  # type: ignore[misc]
+
+    def _store_traced(
+        self,
+        key: str,
+        spec: PointSpec,
+        got: int,
+        trials: int,
+        *,
+        batched: bool = False,
+        stop: Optional[StopRule] = None,
+    ) -> None:
+        """``cache.store`` wrapped in a ``cache.put`` span when tracing."""
+        if self.tracer is None:
+            self.cache.store(key, spec, got, trials, batched=batched, stop=stop)
+            return
+        t0 = self.tracer.now_us()
+        self.cache.store(key, spec, got, trials, batched=batched, stop=stop)
+        self.tracer.complete(
+            "cache.put", t0, self.tracer.now_us() - t0, cat="cache",
+            key=key[:16],
+        )
 
     def _run_batched(
         self,
@@ -845,6 +977,7 @@ class PointScheduler:
         on_fold: Optional[FoldHook],
         stats: ScreenStats,
         crit_out: Optional[List[Optional[Dict[str, int]]]] = None,
+        timing_acc: Optional[Dict[int, Dict[str, float]]] = None,
     ) -> None:
         """Run the batched points; calls ``on_point(i, successes, trials)``
         as each completes.
@@ -922,6 +1055,15 @@ class PointScheduler:
                     crit_acc[i] = CriterionStats.from_wire(data["crit"])
                 self.stats.checkpoint_resumes += 1
                 self.stats.folds_resumed += folds
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "checkpoint_resume", cat="incident", index=i,
+                        folds=folds, trials=trials[i],
+                    )
+                log_event(
+                    _log, "checkpoint_resume", point=i, folds=folds,
+                    successes=successes[i], trials=trials[i],
+                )
                 if on_fold is not None:
                     on_fold(i, successes[i], trials[i])
                 rule = task.stop
@@ -977,6 +1119,7 @@ class PointScheduler:
                     continue
                 rule = tasks[i].stop
                 while (i, next_fold[i]) in ready and i not in complete:
+                    fold0 = time.perf_counter()
                     got, shard_stats = ready.pop((i, next_fold[i]))
                     shard_screen = ScreenStats.from_dict(shard_stats)
                     stats.merge(shard_screen)
@@ -992,6 +1135,20 @@ class PointScheduler:
                     successes[i] += got
                     trials[i] += plans[i][next_fold[i]]
                     next_fold[i] += 1
+                    if timing_acc is not None:
+                        acc = timing_acc.setdefault(i, {})
+                        for key, value in shard_stats.items():
+                            if key.startswith("time_"):
+                                name = key[len("time_"):]
+                                acc[name] = acc.get(name, 0.0) + float(value)
+                        acc["fold_wall_s"] = acc.get("fold_wall_s", 0.0) + (
+                            time.perf_counter() - fold0
+                        )
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "fold", cat="point", index=i, fold=next_fold[i],
+                            successes=successes[i], trials=trials[i],
+                        )
                     if on_fold is not None:
                         on_fold(i, successes[i], trials[i])
                     stopped = rule is not None and rule.should_stop(

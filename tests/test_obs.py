@@ -1,0 +1,425 @@
+"""The unified telemetry layer: metrics, traces, events, timings.
+
+The one invariant everything here leans on: telemetry is out-of-band.
+Fixed-seed results are bit-identical with tracing on, off, or fault-
+injected; metrics render from the same live stats objects ``/stats`` and
+the manifest read, so the three surfaces can never disagree.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.events import (
+    configure_logging,
+    get_logger,
+    log_event,
+    validate_event_line,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    engine_collector,
+)
+from repro.obs.trace import Tracer, span_signature, validate_trace
+from repro.serve import BackgroundServer, ServeConfig
+from repro.yieldsim.engine import EnginePoint, SweepEngine
+from repro.yieldsim.executors import SerialExecutor
+from repro.yieldsim.kernel import PointSpec
+from repro.yieldsim.resilience import (
+    FaultInjectingExecutor,
+    FaultSchedule,
+    ResilienceStats,
+    RetryPolicy,
+    unit_digest,
+)
+
+RUNS = 400
+
+GRID = [(0.90 + 0.01 * i, 11 + i) for i in range(9)]
+
+FAST = RetryPolicy(attempts=3, backoff_base=0.0)
+
+
+def flat_estimates(chip, engine=None):
+    engine = engine if engine is not None else SweepEngine()
+    return [
+        (e.successes, e.trials)
+        for e in engine.survival_estimates(chip, GRID, RUNS)
+    ]
+
+
+# -- instrument semantics ------------------------------------------------------
+
+class TestInstruments:
+    def test_counter_semantics(self):
+        c = Counter("repro_test_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        # Collector-style set() never moves a counter backwards.
+        c.set(10.0)
+        assert c.value() == 10.0
+        c.set(4.0)
+        assert c.value() == 10.0
+
+    def test_labelled_counter(self):
+        c = Counter("repro_test_total", "help", labelnames=("map",))
+        c.inc(map="points")
+        c.inc(3, map="bundles")
+        assert c.value(map="points") == 1
+        assert c.value(map="bundles") == 3
+        with pytest.raises(ValueError):
+            c.inc(other="nope")
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("repro_active", "help")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.value() == 4
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram("repro_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+        samples = dict(
+            (name + suffix, value) for name, suffix, value in h.samples()
+        )
+        assert samples['repro_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_seconds_bucket{le="1"}'] == 3
+        assert samples['repro_seconds_bucket{le="10"}'] == 4
+        assert samples['repro_seconds_bucket{le="+Inf"}'] == 5
+        assert samples["repro_seconds_count"] == 5
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("9starts-with-digit", "help")
+
+    def test_registry_accessors_are_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", "help")
+        b = reg.counter("repro_x_total")
+        assert a is b
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total")
+
+
+class TestPrometheusRender:
+    def test_golden_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total", "b count").inc(2)
+        reg.gauge("repro_a", "a level").set(1.5)
+        h = reg.histogram("repro_c_seconds", "c timing", buckets=(1.0,))
+        h.observe(0.5)
+        assert reg.render() == (
+            "# HELP repro_a a level\n"
+            "# TYPE repro_a gauge\n"
+            "repro_a 1.5\n"
+            "# HELP repro_b_total b count\n"
+            "# TYPE repro_b_total counter\n"
+            "repro_b_total 2\n"
+            "# HELP repro_c_seconds c timing\n"
+            "# TYPE repro_c_seconds histogram\n"
+            'repro_c_seconds_bucket{le="1"} 1\n'
+            'repro_c_seconds_bucket{le="+Inf"} 1\n'
+            "repro_c_seconds_sum 0.5\n"
+            "repro_c_seconds_count 1\n"
+        )
+
+    def test_collectors_run_at_scrape_time(self):
+        reg = MetricsRegistry()
+        source = {"n": 1}
+        reg.register_collector(
+            lambda r: r.counter("repro_n_total").set(source["n"])
+        )
+        assert reg.as_dict()["repro_n_total"] == 1
+        source["n"] = 7
+        assert reg.as_dict()["repro_n_total"] == 7
+
+
+class TestEngineAdapter:
+    def test_engine_collector_matches_stats_dicts(self, dtmb26_chip):
+        engine, executor = _faulted_engine(
+            FaultSchedule(crash_every=3), retry=FAST
+        )
+        flat_estimates(dtmb26_chip, engine)
+        assert engine.resilience.retries >= 1
+
+        reg = MetricsRegistry()
+        reg.register_collector(engine_collector(engine))
+        flat = reg.as_dict()
+        assert flat["repro_engine_cache_hits_total"] == engine.cache_hits
+        assert flat["repro_engine_runs_effective_total"] == (
+            engine.runs_effective
+        )
+        for field, value in engine.resilience.as_dict().items():
+            assert flat[f"repro_resilience_{field}_total"] == value
+        for field, value in engine.store_stats.as_dict().items():
+            assert flat[f"repro_cachestore_{field}_total"] == value
+        for field, value in engine.screen_stats.as_dict().items():
+            assert flat[f"repro_screen_{field}_total"] == value
+
+    def test_resilience_fields_all_numeric(self):
+        # Guards the adapter's duck-typing: every stats field must stay a
+        # plain number for _set_from_dict to fold it in.
+        for value in ResilienceStats().as_dict().values():
+            assert isinstance(value, (int, float))
+
+
+# -- tracing -------------------------------------------------------------------
+
+def _faulted_engine(schedule, **engine_kwargs):
+    executor = FaultInjectingExecutor(SerialExecutor(), schedule)
+    engine = SweepEngine(executor=executor, **engine_kwargs)
+    return engine, executor
+
+
+class TestTracer:
+    def test_trace_is_out_of_band(self, dtmb26_chip):
+        clean = flat_estimates(dtmb26_chip)
+        traced_engine = SweepEngine(tracer=Tracer())
+        assert flat_estimates(dtmb26_chip, traced_engine) == clean
+        assert len(traced_engine.tracer) > 0
+
+    def test_trace_is_out_of_band_under_faults(self, dtmb26_chip):
+        clean = flat_estimates(dtmb26_chip)
+        engine, executor = _faulted_engine(
+            FaultSchedule(crash_every=3), retry=FAST, tracer=Tracer()
+        )
+        assert flat_estimates(dtmb26_chip, engine) == clean
+        assert executor.injected.get("crash", 0) >= 1
+        incidents = [
+            e for e in engine.tracer.to_dict()["traceEvents"]
+            if e.get("cat") == "incident"
+        ]
+        assert any(e["name"] == "unit_retry" for e in incidents)
+
+    def test_span_tree_is_deterministic(self, dtmb26_chip):
+        signatures = []
+        for _ in range(2):
+            engine = SweepEngine(tracer=Tracer())
+            flat_estimates(dtmb26_chip, engine)
+            signatures.append(span_signature(engine.tracer.to_dict()))
+        assert signatures[0] == signatures[1]
+        # Volatile fields are excluded from the signature by design.
+        for event in signatures[0]:
+            assert not {"ts", "dur", "pid", "tid"} & set(event)
+
+    def test_validate_trace_accepts_real_and_rejects_junk(self, dtmb26_chip):
+        engine = SweepEngine(tracer=Tracer())
+        flat_estimates(dtmb26_chip, engine)
+        events = validate_trace(engine.tracer.to_dict())
+        names = {e["name"] for e in events}
+        assert {"point", "scheduler.run", "unit:chunk"} <= names
+        with pytest.raises(ValueError):
+            validate_trace({"nope": []})
+        with pytest.raises(ValueError):
+            validate_trace({"traceEvents": [{"name": "x"}]})
+
+    def test_point_spans_carry_budget_args(self, dtmb26_chip):
+        engine = SweepEngine(tracer=Tracer())
+        flat_estimates(dtmb26_chip, engine)
+        points = [
+            e for e in engine.tracer.to_dict()["traceEvents"]
+            if e["name"] == "point"
+        ]
+        assert len(points) == len(GRID)
+        by_index = {e["args"]["index"]: e for e in points}
+        for record, (index, span) in zip(
+            engine.point_log, sorted(by_index.items())
+        ):
+            assert span["args"]["requested"] == record.requested
+            assert span["args"]["effective"] == record.effective
+            assert span["args"]["successes"] is not None
+
+    def test_unit_digest_is_stable(self):
+        a = unit_digest(flat_estimates, (1, 2))
+        b = unit_digest(flat_estimates, (1, 2))
+        c = unit_digest(flat_estimates, (1, 3))
+        assert a == b
+        assert a != c
+
+
+# -- timings -------------------------------------------------------------------
+
+class TestTimings:
+    def test_point_records_carry_timings(self, dtmb26_chip):
+        engine = SweepEngine()
+        flat_estimates(dtmb26_chip, engine)
+        for record in engine.point_log:
+            assert record.timings is not None
+            assert record.timings["wall_s"] >= 0.0
+            assert record.timings["cpu_s"] >= 0.0
+            assert "timings" in record.as_dict()
+
+    def test_cache_hits_have_no_timings(self, dtmb26_chip, tmp_path):
+        SweepEngine(cache_dir=str(tmp_path)).survival_estimates(
+            dtmb26_chip, GRID[:2], RUNS
+        )
+        warm = SweepEngine(cache_dir=str(tmp_path))
+        warm.survival_estimates(dtmb26_chip, GRID[:2], RUNS)
+        assert warm.cache_hits == 2
+        assert all(r.timings is None for r in warm.point_log)
+
+    def test_manifest_timings_block(self):
+        from repro.experiments import registry
+
+        result = registry.execute(
+            registry.get("fig9"), runs=60, seed=7, engine=SweepEngine()
+        )
+        timings = result.provenance.as_dict()["engine"]["timings"]
+        assert timings["wall_s"] > 0.0
+        # Volatile telemetry never reaches the stable digest surface.
+        stable = json.dumps(result.provenance.stable_dict())
+        assert "timings" not in stable
+        assert "wall_s" not in stable
+
+    def test_funnel_phases_surface_in_timings(self, dtmb26_chip):
+        from repro.functional.criteria import RoutingCriterion
+
+        engine = SweepEngine()
+        engine.run_points([
+            EnginePoint(
+                dtmb26_chip,
+                PointSpec(
+                    "survival", 0.93, 200, 7,
+                    criterion=RoutingCriterion(deadline=200),
+                ),
+            )
+        ])
+        timings = engine.point_log[-1].timings
+        assert timings["funnel_screen_wall_s"] >= 0.0
+        assert timings["funnel_sample_wall_s"] >= 0.0
+
+
+# -- the event log -------------------------------------------------------------
+
+class TestEventLog:
+    def teardown_method(self):
+        configure_logging("warning")  # leave the quiet default behind
+
+    def test_ndjson_lines_validate(self):
+        sink = io.StringIO()
+        configure_logging("info", json_lines=True, stream=sink)
+        log_event(get_logger("scheduler"), "unit_retry", token="(1, 2)",
+                  attempt=2)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 1
+        payload = validate_event_line(lines[0])
+        assert payload["event"] == "unit_retry"
+        assert payload["logger"] == "repro.scheduler"
+        assert payload["fields"]["attempt"] == 2
+
+    def test_fault_injection_emits_retry_events(self, dtmb26_chip):
+        sink = io.StringIO()
+        configure_logging("info", json_lines=True, stream=sink)
+        engine, _ = _faulted_engine(FaultSchedule(crash_every=3), retry=FAST)
+        flat_estimates(dtmb26_chip, engine)
+        events = [
+            validate_event_line(line)
+            for line in sink.getvalue().splitlines()
+        ]
+        assert any(e["event"] == "unit_retry" for e in events)
+
+    def test_validate_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            validate_event_line("not json")
+        with pytest.raises(ValueError):
+            validate_event_line(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError):
+            validate_event_line(json.dumps({
+                "schema": 1, "ts": 1.0, "level": "info",
+                "logger": "other.place", "msg": "x",
+            }))
+
+    def test_logger_names_live_under_repro(self):
+        assert get_logger("scheduler").name == "repro.scheduler"
+        assert get_logger("repro.serve").name == "repro.serve"
+
+
+# -- the serve surface ---------------------------------------------------------
+
+def _post(url, body):
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"), method="POST"
+    )
+    return json.load(urllib.request.urlopen(req))
+
+
+def _get(url):
+    return urllib.request.urlopen(url).read().decode("utf-8")
+
+
+POINT = {
+    "design": "DTMB(2,6)", "n": 60, "param": 0.95, "runs": 400, "seed": 3,
+}
+
+
+class TestServeTelemetry:
+    def test_metrics_endpoint_matches_stats(self):
+        with BackgroundServer(ServeConfig(port=0)) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            _post(url + "/points", POINT)
+            stats = json.loads(_get(url + "/stats"))
+            flat = handle.server.metrics.as_dict()
+            assert flat["repro_http_requests_total"] >= stats["requests"] - 1
+            assert flat['repro_coalesce_computed_total{map="points"}'] == (
+                stats["points"]["computed"]
+            )
+            text = _get(url + "/metrics")
+            assert "# TYPE repro_http_requests_total counter" in text
+            assert "repro_http_request_seconds_bucket" in text
+
+    def test_metrics_consistent_under_concurrent_load(self):
+        with BackgroundServer(ServeConfig(port=0)) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            errors = []
+
+            def hammer(i):
+                try:
+                    _post(url + "/points", {**POINT, "seed": 100 + i % 3})
+                    _get(url + "/metrics")
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            stats = json.loads(_get(url + "/stats"))
+            flat = handle.server.metrics.as_dict()
+            points = stats["points"]
+            assert flat['repro_coalesce_computed_total{map="points"}'] == (
+                points["computed"]
+            )
+            assert flat["repro_engine_runs_effective_total"] == (
+                stats["engine"]["runs_effective"]
+            )
+
+    def test_per_request_trace(self):
+        with BackgroundServer(ServeConfig(port=0)) as handle:
+            url = f"http://127.0.0.1:{handle.port}/points"
+            plain = _post(url, POINT)
+            assert "trace" not in plain
+            traced = _post(url, {**POINT, "trace": True})
+            # Telemetry is out-of-band: same numbers with tracing on.
+            assert traced["successes"] == plain["successes"]
+            assert traced["trials"] == plain["trials"]
+            events = validate_trace(traced["trace"])
+            assert any(e["name"] == "point" for e in events)
